@@ -1,0 +1,107 @@
+// Package cloudqc is a network-aware framework for multi-tenant
+// distributed quantum computing, reproducing "CloudQC: A Network-aware
+// Framework for Multi-tenant Distributed Quantum Computing" (ICDCS
+// 2025).
+//
+// A quantum cloud is a cluster of QPUs — each with computing qubits and
+// communication qubits — connected by quantum links. Jobs are quantum
+// circuits; a circuit larger than any single QPU is partitioned across
+// several, turning some two-qubit gates into remote gates that consume
+// probabilistically generated EPR pairs. CloudQC contributes:
+//
+//   - Circuit placement (Algorithm 1/2): sweep graph-partition
+//     granularities, find feasible QPU sets by modularity community
+//     detection over a capacity-weighted topology, map partition centers
+//     to community centers, and score candidates by estimated runtime
+//     and communication cost.
+//   - Network scheduling (Algorithm 3): contract the placed circuit to a
+//     remote DAG, prioritize gates by longest path to a leaf, and divide
+//     each QPU's communication qubits across competing gates every EPR
+//     round — redundant pairs go to critical gates, and no gate starves.
+//   - A multi-tenant controller: batch ordering by the intensity metric
+//     (Eq. 11), FIFO mode, placement retries as capacity frees, and
+//     cross-tenant communication-qubit contention.
+//
+// The minimal pipeline:
+//
+//	cl := cloudqc.NewRandomCloud(20, 0.3, 20, 5, 1)
+//	circ, _ := cloudqc.BuildCircuit("qft_n63")
+//	res, _ := cloudqc.PlaceAndSchedule(cl, circ, cloudqc.DefaultModel(), 1)
+//	fmt.Println(res.JCT)
+//
+// For multi-tenant workloads, assemble a Cluster (see NewCluster) and
+// submit Jobs; for the paper's tables and figures, see the cloudqc CLI
+// (cmd/cloudqc) and the root-level benchmarks.
+package cloudqc
+
+import (
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/simq"
+	"cloudqc/internal/workload"
+)
+
+// Core model types, aliased from the implementation packages so the
+// whole framework is usable through this single import.
+type (
+	// Circuit is a gate-list quantum circuit over a fixed register.
+	Circuit = circuit.Circuit
+	// Gate is one operation on one or two qubits.
+	Gate = circuit.Gate
+	// Cloud is a cluster of QPUs connected by quantum links.
+	Cloud = cloud.Cloud
+	// QPU is one quantum processing unit.
+	QPU = cloud.QPU
+	// Latency is the operation latency table (paper Table I).
+	Latency = epr.Latency
+	// Model combines latencies with the EPR success probability.
+	Model = epr.Model
+	// Placement maps a circuit's qubits onto QPUs.
+	Placement = place.Placement
+	// Placer is a circuit placement algorithm.
+	Placer = place.Placer
+	// PlacerConfig parameterizes the CloudQC placer.
+	PlacerConfig = place.Config
+	// RemoteDAG is the dependency graph over a placement's remote gates.
+	RemoteDAG = sched.RemoteDAG
+	// Policy divides communication qubits among competing remote gates.
+	Policy = sched.Policy
+	// ScheduleResult summarizes one network-scheduling run.
+	ScheduleResult = sched.Result
+	// Job is one tenant's circuit submission.
+	Job = core.Job
+	// JobResult reports a job's completion time and placement.
+	JobResult = core.JobResult
+	// Cluster is the multi-tenant controller.
+	Cluster = core.Controller
+	// ClusterConfig assembles a Cluster.
+	ClusterConfig = core.Config
+	// Workload is a named pool of benchmark circuits.
+	Workload = workload.Workload
+	// Topology is a weighted undirected graph of quantum links.
+	Topology = graph.Graph
+	// FidelityModel extends Model with link fidelity and purification.
+	FidelityModel = epr.FidelityModel
+	// QuantumState is a dense state vector for semantic simulation of
+	// small circuits.
+	QuantumState = simq.State
+	// UtilizationRecorder samples cloud utilization during multi-tenant
+	// runs.
+	UtilizationRecorder = metrics.Recorder
+	// MigrationStats reports what the teleportation planner did.
+	MigrationStats = sched.MigrationStats
+)
+
+// Admission modes for the multi-tenant controller.
+const (
+	// BatchMode orders waiting jobs by the paper's intensity metric.
+	BatchMode = core.BatchMode
+	// FIFOMode admits jobs strictly in arrival order.
+	FIFOMode = core.FIFOMode
+)

@@ -1,0 +1,230 @@
+// Command cloudqc regenerates the paper's evaluation tables and figures
+// and runs one-off placement/scheduling experiments.
+//
+// Usage:
+//
+//	cloudqc <experiment> [flags]
+//
+// Experiments:
+//
+//	list                     available benchmark circuits
+//	table1                   operation latency table
+//	table2                   circuit characteristics (paper vs generated)
+//	table3                   single-circuit placement remote ops
+//	fig6 fig7 fig8 fig9      comm overhead vs computing qubits
+//	fig10 fig11 fig12 fig13  JCT vs communication qubits
+//	fig14 fig15 fig16 fig17  multi-tenant JCT CDFs
+//	fig18 fig19 fig20 fig21  JCT vs EPR probability
+//	fig22                    relative JCT by scheduling policy
+//	run                      full pipeline for one circuit (-circuit)
+//
+// Common flags: -qpus, -edge-prob, -computing, -comm, -epr-prob, -seed,
+// -reps, -circuit, -batches, -batch-size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudqc/internal/exp"
+	"cloudqc/internal/qlib"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudqc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cloudqc <experiment> [flags]; try 'cloudqc help'")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		qpus      = fs.Int("qpus", 20, "number of QPUs in the cloud")
+		edgeProb  = fs.Float64("edge-prob", 0.3, "random topology edge probability")
+		computing = fs.Int("computing", 20, "computing qubits per QPU")
+		comm      = fs.Int("comm", 5, "communication qubits per QPU")
+		eprProb   = fs.Float64("epr-prob", 0.3, "EPR generation success probability")
+		seed      = fs.Int64("seed", 1, "experiment seed")
+		reps      = fs.Int("reps", 3, "simulation repetitions to average")
+		circuit   = fs.String("circuit", "knn_n67", "benchmark circuit name")
+		batches   = fs.Int("batches", 5, "multi-tenant batches per method")
+		batchSize = fs.Int("batch-size", 20, "jobs per batch")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	o := exp.Options{
+		QPUs: *qpus, EdgeProb: *edgeProb, Computing: *computing,
+		Comm: *comm, EPRProb: *eprProb, Seed: *seed, Reps: *reps,
+	}
+
+	switch cmd {
+	case "help", "-h", "--help":
+		fmt.Println("experiments: list table1 table2 table3 fig6..fig22 run incoming teleport")
+		fmt.Println("ablations:   ablation-imbalance ablation-order ablation-multipath ablation-fidelity")
+		return nil
+	case "list":
+		fmt.Println(strings.Join(qlib.Names(), "\n"))
+		return nil
+	case "table1":
+		fmt.Print(exp.TableI())
+		return nil
+	case "table2":
+		fmt.Print(exp.RenderTable2(exp.Table2()))
+		return nil
+	case "table3":
+		rows, err := exp.Table3(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.RenderTable3(rows))
+		return nil
+	case "fig6", "fig7", "fig8", "fig9":
+		name := exp.OverheadCircuits()[int(cmd[3]-'6')]
+		series, err := exp.OverheadVsCapacity(o, name, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("communication overhead vs computing qubits: %s\n", name)
+		fmt.Print(exp.RenderSweep("capacity", series))
+		return nil
+	case "fig10", "fig11", "fig12", "fig13":
+		name := exp.SchedCircuits()[idx(cmd, 10)]
+		series, err := exp.JCTVsCommQubits(o, name, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean JCT vs communication qubits: %s\n", name)
+		fmt.Print(exp.RenderSweep("comm", series))
+		return nil
+	case "fig14", "fig15", "fig16", "fig17":
+		w := workload.All()[idx(cmd, 14)]
+		series, err := exp.MultiTenantCDF(o, w, *batches, *batchSize)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("multi-tenant JCT CDF: %s workload (%d batches x %d jobs)\n",
+			w.Name, *batches, *batchSize)
+		fmt.Print(exp.RenderCDF(series))
+		printCDFs(series)
+		return nil
+	case "fig18", "fig19", "fig20", "fig21":
+		name := exp.SchedCircuits()[idx(cmd, 18)]
+		series, err := exp.JCTVsEPRProb(o, name, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean JCT vs EPR success probability: %s\n", name)
+		fmt.Print(exp.RenderSweep("p", series))
+		return nil
+	case "fig22":
+		rows, err := exp.Fig22(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("relative JCT by scheduling policy (CloudQC = 1.0)")
+		fmt.Print(exp.RenderFig22(rows))
+		return nil
+	case "run":
+		return runPipeline(o, *circuit)
+	case "ablation-imbalance":
+		s, err := exp.AblationImbalance(o, *circuit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("communication cost by imbalance factor (x = -1 is the full Algorithm 1 sweep): %s\n", *circuit)
+		fmt.Print(exp.RenderSweep("alpha", []exp.SweepSeries{s}))
+		return nil
+	case "ablation-order":
+		rows, err := exp.AblationBatchOrder(o, workload.Mixed(), *batchSize)
+		if err != nil {
+			return err
+		}
+		fmt.Println("batch manager ordering ablation (Mixed workload)")
+		fmt.Print(exp.RenderAblationOrder(rows))
+		return nil
+	case "ablation-multipath":
+		s, err := exp.AblationMultipath(o, *circuit, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean JCT by k alternative entanglement paths (sparse topology): %s\n", *circuit)
+		fmt.Print(exp.RenderSweep("k", []exp.SweepSeries{s}))
+		return nil
+	case "ablation-fidelity":
+		s, err := exp.AblationFidelity(o, *circuit, nil, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean JCT by link fidelity with purification to threshold 0.9: %s\n", *circuit)
+		fmt.Print(exp.RenderSweep("fidelity", []exp.SweepSeries{s}))
+		return nil
+	case "teleport":
+		rows, err := exp.TeleportComparison(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("cat-entangler vs teleportation-enabled execution (same placement)")
+		fmt.Print(exp.RenderTeleport(rows))
+		return nil
+	case "incoming":
+		rows, err := exp.IncomingMode(o, workload.Mixed(), *batchSize, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("incoming-job mode: Poisson arrivals, FIFO placement (Mixed workload)")
+		fmt.Print(exp.RenderIncoming(rows))
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q; try 'cloudqc help'", cmd)
+	}
+}
+
+// idx maps "figN" to its offset within a four-figure group starting at
+// base.
+func idx(cmd string, base int) int {
+	n := int(cmd[3]-'0')*10 + int(cmd[4]-'0')
+	return n - base
+}
+
+func printCDFs(series []exp.CDFSeries) {
+	for _, s := range series {
+		fmt.Printf("\n%s CDF (completion time -> fraction):\n", s.Method)
+		step := len(s.Points)/10 + 1
+		for i := 0; i < len(s.Points); i += step {
+			p := s.Points[i]
+			fmt.Printf("  %10.1f  %.2f\n", p.X, p.P)
+		}
+	}
+}
+
+func runPipeline(o exp.Options, name string) error {
+	rows, err := exp.Table3(o, []string{name})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement remote ops for %s:\n", name)
+	fmt.Print(exp.RenderTable3(rows))
+
+	series, err := exp.JCTVsCommQubits(o, name, []int{o.Comm})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, s := range series {
+		out = append(out, []string{s.Method, stats.F(s.Y[0])})
+	}
+	fmt.Printf("\nmean JCT at %d communication qubits:\n", o.Comm)
+	fmt.Print(stats.Table([]string{"Policy", "JCT"}, out))
+	return nil
+}

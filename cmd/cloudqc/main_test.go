@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args should error with usage")
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown command should error")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"help"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "table3") || !strings.Contains(out, "ablation-multipath") {
+		t.Fatalf("help output:\n%s", out)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "qft_n160") || !strings.Contains(out, "grover_n8") {
+		t.Fatalf("list output missing circuits:\n%s", out)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"table1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "EPR preparation") {
+		t.Fatalf("table1 output:\n%s", out)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"table2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "qv_n100") || !strings.Contains(out, "15000") {
+		t.Fatalf("table2 output:\n%s", out)
+	}
+}
+
+func TestRunPipelineSmallCircuit(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-circuit", "ising_n34", "-reps", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"placement remote ops", "mean JCT", "CloudQC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"table1", "-no-such-flag"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestIdxMapping(t *testing.T) {
+	cases := map[string]int{"fig10": 0, "fig11": 1, "fig13": 3, "fig18": 0, "fig21": 3}
+	bases := map[string]int{"fig10": 10, "fig11": 10, "fig13": 10, "fig18": 18, "fig21": 18}
+	for cmd, want := range cases {
+		if got := idx(cmd, bases[cmd]); got != want {
+			t.Fatalf("idx(%s, %d) = %d, want %d", cmd, bases[cmd], got, want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command qcgen emits any qlib benchmark circuit as OpenQASM 2.0 on
+// stdout, plus a short characteristics summary on stderr.
+//
+// Usage:
+//
+//	qcgen -circuit qft_n63 > qft_n63.qasm
+//	qcgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudqc/internal/qasm"
+	"cloudqc/internal/qlib"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qcgen", flag.ContinueOnError)
+	name := fs.String("circuit", "", "benchmark circuit to emit")
+	list := fs.Bool("list", false, "list available circuits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(qlib.Names(), "\n"))
+		return nil
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -circuit (or -list)")
+	}
+	c, err := qlib.Build(*name)
+	if err != nil {
+		return err
+	}
+	oneQ, twoQ, ms := c.GateCount()
+	fmt.Fprintf(os.Stderr, "%s: %d qubits, %d 1q + %d 2q gates, %d measures, depth %d\n",
+		c.Name, c.NumQubits(), oneQ, twoQ, ms, c.Depth())
+	fmt.Print(qasm.Write(c))
+	return nil
+}

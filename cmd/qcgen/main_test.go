@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<22)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "adder_n64") {
+		t.Fatalf("list output:\n%s", out)
+	}
+}
+
+func TestRunEmitsQASM(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-circuit", "ising_n34"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OPENQASM 2.0;", "qreg q[34];", "cx "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("qasm output missing %q", want)
+		}
+	}
+}
+
+func TestRunMissingCircuit(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -circuit should error")
+	}
+}
+
+func TestRunUnknownCircuit(t *testing.T) {
+	if err := run([]string{"-circuit", "nope"}); err == nil {
+		t.Fatal("unknown circuit should error")
+	}
+}

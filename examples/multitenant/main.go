@@ -1,0 +1,71 @@
+// Multi-tenant simulation: a 20-job mixed batch on the paper's default
+// cloud, comparing CloudQC against CloudQC-FIFO job ordering — the
+// experiment behind Fig. 14.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"cloudqc"
+)
+
+func main() {
+	run := func(label string, mode int) []float64 {
+		jobs, err := cloudqc.MixedWorkload().Batch(20, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := cloudqc.ClusterConfig{
+			Cloud: cloudqc.NewRandomCloud(20, 0.3, 20, 5, 42),
+			Seed:  42,
+		}
+		if mode == 1 {
+			cfg.Mode = cloudqc.FIFOMode
+		}
+		cluster, err := cloudqc.NewCluster(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := cluster.Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var jcts []float64
+		for _, r := range results {
+			if !r.Failed {
+				jcts = append(jcts, r.JCT)
+			}
+		}
+		sort.Float64s(jcts)
+		fmt.Printf("%-14s: %2d jobs, median JCT %8.0f, p90 %8.0f, max %8.0f\n",
+			label, len(jcts), jcts[len(jcts)/2], jcts[len(jcts)*9/10], jcts[len(jcts)-1])
+		return jcts
+	}
+
+	fmt.Println("mixed workload: 20 jobs on a 20-QPU cloud (batch vs FIFO ordering)")
+	batch := run("CloudQC", 0)
+	fifo := run("CloudQC-FIFO", 1)
+
+	fmt.Println("\ncompletion-time CDF (fraction of jobs finished by t):")
+	fmt.Printf("%12s  %8s  %8s\n", "t", "CloudQC", "FIFO")
+	probe := batch[len(batch)-1]
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1} {
+		t := probe * frac
+		fmt.Printf("%12.0f  %8.2f  %8.2f\n", t, cdfAt(batch, t), cdfAt(fifo, t))
+	}
+}
+
+// cdfAt returns the fraction of sorted samples <= x.
+func cdfAt(sorted []float64, x float64) float64 {
+	n := 0
+	for _, v := range sorted {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(sorted))
+}

@@ -1,0 +1,50 @@
+// Placement comparison: reproduce one row of the paper's Table III by
+// placing a single circuit with all five placement algorithms and
+// counting remote operations.
+//
+// Run with: go run ./examples/placement [circuit]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudqc"
+)
+
+func main() {
+	name := "qugan_n71"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	circ, err := cloudqc.BuildCircuit(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	placers := []cloudqc.Placer{
+		cloudqc.NewAnnealerPlacer(1),
+		cloudqc.NewRandomPlacer(1),
+		cloudqc.NewGeneticPlacer(1),
+		cloudqc.NewBFSPlacer(cloudqc.DefaultPlacerConfig()),
+		cloudqc.NewPlacer(cloudqc.DefaultPlacerConfig()),
+	}
+
+	fmt.Printf("single-circuit placement of %s (%d qubits, %d two-qubit gates)\n\n",
+		name, circ.NumQubits(), circ.TwoQubitGateCount())
+	fmt.Printf("%-12s  %-10s  %-10s  %s\n", "method", "remoteOps", "commCost", "QPUs")
+	for _, p := range placers {
+		// A fresh cloud per method: each sees identical free resources.
+		cl := cloudqc.NewRandomCloud(20, 0.3, 20, 5, 7)
+		pl, err := p.Place(cl, circ)
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name(), err)
+		}
+		fmt.Printf("%-12s  %-10d  %-10.0f  %d\n",
+			p.Name(),
+			cloudqc.RemoteOps(circ, pl.QubitToQPU),
+			cloudqc.CommCost(circ, cl, pl.QubitToQPU),
+			len(pl.UsedQPUs()))
+	}
+}

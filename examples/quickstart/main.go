@@ -1,0 +1,40 @@
+// Quickstart: place one distributed quantum circuit on a quantum cloud
+// and simulate its execution with CloudQC's network scheduler.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudqc"
+)
+
+func main() {
+	// The paper's default cloud: 20 QPUs in a random topology, each with
+	// 20 computing and 5 communication qubits.
+	cl := cloudqc.NewRandomCloud(20, 0.3, 20, 5, 1)
+
+	// A 67-qubit quantum KNN circuit — too large for any single QPU, so
+	// CloudQC must distribute it.
+	circ, err := cloudqc.BuildCircuit("knn_n67")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %s: %d qubits, %d two-qubit gates, depth %d\n",
+		circ.Name, circ.NumQubits(), circ.TwoQubitGateCount(), circ.Depth())
+
+	// Full pipeline: Algorithm 1/2 placement, remote DAG contraction,
+	// Algorithm 3 scheduling with probabilistic EPR generation.
+	res, err := cloudqc.PlaceAndSchedule(cl, circ, cloudqc.DefaultModel(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("placed across QPUs %v\n", res.Placement.UsedQPUs())
+	fmt.Printf("remote gates: %d (of %d two-qubit gates)\n",
+		res.RemoteGates, circ.TwoQubitGateCount())
+	fmt.Printf("communication cost: %.0f\n", res.CommCost)
+	fmt.Printf("job completion time: %.1f CX units\n", res.JCT)
+}

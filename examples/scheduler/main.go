@@ -1,0 +1,62 @@
+// Scheduler comparison: reproduce one bar group of the paper's Fig. 22
+// — the same placed circuit executed under all four communication-qubit
+// allocation policies, reporting mean job completion time.
+//
+// Run with: go run ./examples/scheduler [circuit]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudqc"
+)
+
+func main() {
+	name := "multiplier_n45"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	circ, err := cloudqc.BuildCircuit(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := cloudqc.NewRandomCloud(20, 0.3, 20, 5, 3)
+	model := cloudqc.DefaultModel()
+
+	// Place once with CloudQC so every policy schedules the same remote
+	// DAG — the figure isolates scheduling quality.
+	pl, err := cloudqc.NewPlacer(cloudqc.DefaultPlacerConfig()).Place(cl, circ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dag := cloudqc.BuildRemoteDAG(circ, cl, pl.QubitToQPU, model.Latency)
+	fmt.Printf("%s: %d remote gates, critical path %d, EPR success prob %.1f\n\n",
+		name, dag.Len(), dag.CriticalPathLen(), model.SuccessProb)
+
+	policies := []cloudqc.Policy{
+		cloudqc.PolicyCloudQC(),
+		cloudqc.PolicyAverage(),
+		cloudqc.PolicyRandom(),
+		cloudqc.PolicyGreedy(),
+	}
+	const reps = 5
+	var base float64
+	fmt.Printf("%-8s  %-12s  %s\n", "policy", "meanJCT", "relative")
+	for _, p := range policies {
+		var total float64
+		for rep := int64(0); rep < reps; rep++ {
+			res, err := cloudqc.Schedule(dag, cl, model, p, rep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += res.JCT
+		}
+		mean := total / reps
+		if base == 0 {
+			base = mean
+		}
+		fmt.Printf("%-8s  %-12.1f  %.2fx\n", p.Name(), mean, mean/base)
+	}
+}

@@ -1,0 +1,130 @@
+package circuit
+
+import (
+	"fmt"
+
+	"cloudqc/internal/graph"
+)
+
+// Circuit is an ordered list of gates over a fixed qubit register.
+// Gate order in the slice is program order; the dependency DAG derives the
+// true partial order.
+type Circuit struct {
+	// Name identifies the circuit in workloads and reports ("qft_n160").
+	Name string
+
+	numQubits int
+	gates     []Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(name string, n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("circuit: non-positive qubit count %d", n))
+	}
+	return &Circuit{Name: name, numQubits: n}
+}
+
+// NumQubits returns the register size.
+func (c *Circuit) NumQubits() int { return c.numQubits }
+
+// Gates returns the gate list in program order. The returned slice is the
+// circuit's backing store; callers must not modify it.
+func (c *Circuit) Gates() []Gate { return c.gates }
+
+// Len returns the number of gates.
+func (c *Circuit) Len() int { return len(c.gates) }
+
+// Append adds gates in program order, validating qubit indices.
+func (c *Circuit) Append(gs ...Gate) {
+	for _, g := range gs {
+		c.checkQubit(g.Qubits[0])
+		if g.Kind == Two {
+			c.checkQubit(g.Qubits[1])
+		}
+		c.gates = append(c.gates, g)
+	}
+}
+
+// TwoQubitGateCount returns the number of two-qubit gates (the "#2-Qubit
+// Gates" column of Table II).
+func (c *Circuit) TwoQubitGateCount() int {
+	n := 0
+	for _, g := range c.gates {
+		if g.Kind == Two {
+			n++
+		}
+	}
+	return n
+}
+
+// GateCount returns counts by kind.
+func (c *Circuit) GateCount() (oneQ, twoQ, measures int) {
+	for _, g := range c.gates {
+		switch g.Kind {
+		case Single:
+			oneQ++
+		case Two:
+			twoQ++
+		case Measure:
+			measures++
+		}
+	}
+	return oneQ, twoQ, measures
+}
+
+// Depth returns the circuit depth: the length of the longest chain of
+// gates that share qubits, counting every gate (including measures) as
+// one layer. This matches the "Circuit Depth" column of Table II.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.numQubits)
+	depth := 0
+	for _, g := range c.gates {
+		d := level[g.Qubits[0]]
+		if g.Kind == Two && level[g.Qubits[1]] > d {
+			d = level[g.Qubits[1]]
+		}
+		d++
+		level[g.Qubits[0]] = d
+		if g.Kind == Two {
+			level[g.Qubits[1]] = d
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// InteractionGraph returns the weighted qubit interaction graph: vertices
+// are qubits, edge weight D_ij counts two-qubit gates between qubits i
+// and j. This is the graph the placement stage partitions.
+func (c *Circuit) InteractionGraph() *graph.Graph {
+	g := graph.New(c.numQubits)
+	for _, gt := range c.gates {
+		if gt.Kind == Two {
+			g.AddEdge(gt.Qubits[0], gt.Qubits[1], 1)
+		}
+	}
+	return g
+}
+
+// MeasureAll appends a measurement on every qubit.
+func (c *Circuit) MeasureAll() {
+	for q := 0; q < c.numQubits; q++ {
+		c.Append(M(q))
+	}
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	cp := New(c.Name, c.numQubits)
+	cp.gates = append([]Gate(nil), c.gates...)
+	return cp
+}
+
+func (c *Circuit) checkQubit(q int) {
+	if q < 0 || q >= c.numQubits {
+		panic(fmt.Sprintf("circuit %q: qubit %d out of range [0,%d)", c.Name, q, c.numQubits))
+	}
+}

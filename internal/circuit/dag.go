@@ -1,0 +1,118 @@
+package circuit
+
+// DAG is the gate dependency graph of a circuit. Node i corresponds to
+// gate i in program order. There is an edge u -> v when v is the next
+// gate after u on some shared qubit; transitively this encodes the full
+// dependency partial order.
+type DAG struct {
+	circ  *Circuit
+	succs [][]int
+	preds [][]int
+}
+
+// BuildDAG constructs the dependency DAG for c. Cost is linear in the
+// gate count.
+func BuildDAG(c *Circuit) *DAG {
+	n := c.Len()
+	d := &DAG{
+		circ:  c,
+		succs: make([][]int, n),
+		preds: make([][]int, n),
+	}
+	last := make([]int, c.NumQubits()) // last gate index seen per qubit
+	for i := range last {
+		last[i] = -1
+	}
+	for i, g := range c.Gates() {
+		qubits := []int{g.Qubits[0]}
+		if g.Kind == Two {
+			qubits = append(qubits, g.Qubits[1])
+		}
+		seen := -1
+		for _, q := range qubits {
+			if p := last[q]; p >= 0 && p != seen {
+				d.succs[p] = append(d.succs[p], i)
+				d.preds[i] = append(d.preds[i], p)
+				seen = p
+			}
+			last[q] = i
+		}
+	}
+	return d
+}
+
+// Circuit returns the circuit this DAG was built from.
+func (d *DAG) Circuit() *Circuit { return d.circ }
+
+// Len returns the number of nodes (gates).
+func (d *DAG) Len() int { return len(d.succs) }
+
+// Succs returns the direct successors of gate i. Callers must not modify
+// the returned slice.
+func (d *DAG) Succs(i int) []int { return d.succs[i] }
+
+// Preds returns the direct predecessors of gate i. Callers must not
+// modify the returned slice.
+func (d *DAG) Preds(i int) []int { return d.preds[i] }
+
+// FrontLayer returns the indices of all gates with no predecessors: the
+// set that can execute immediately (Fig. 1 of the paper).
+func (d *DAG) FrontLayer() []int {
+	var front []int
+	for i := range d.preds {
+		if len(d.preds[i]) == 0 {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// Topological returns node indices in a topological order. Because gates
+// are stored in program order and edges only point forward, program order
+// itself is topological; the method exists to make that contract explicit
+// at call sites.
+func (d *DAG) Topological() []int {
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// CriticalPath returns the longest weighted path length through the DAG,
+// where dur maps each gate index to its duration, plus the implied
+// completion time of every node. It is the circuit runtime under
+// unbounded parallelism.
+func (d *DAG) CriticalPath(dur func(int) float64) (total float64, finish []float64) {
+	finish = make([]float64, d.Len())
+	for _, i := range d.Topological() {
+		start := 0.0
+		for _, p := range d.preds[i] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[i] = start + dur(i)
+		if finish[i] > total {
+			total = finish[i]
+		}
+	}
+	return total, finish
+}
+
+// Heights returns, for every node, the number of edges on the longest
+// path from that node to any sink. Sinks have height 0. This is the
+// priority measure of the paper's network scheduler (Sec. V-C).
+func (d *DAG) Heights() []int {
+	h := make([]int, d.Len())
+	order := d.Topological()
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		i := order[idx]
+		for _, s := range d.succs[i] {
+			if h[s]+1 > h[i] {
+				h[i] = h[s] + 1
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,163 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// vqe4 builds the 4-qubit VQE circuit of Fig. 1 in the paper:
+// three H gates (q0,q2,q3) form the front layer; the CX on q0,q1 must
+// wait for the H on q0 and the CX on q1,q2.
+func vqe4() *Circuit {
+	c := New("vqe4", 4)
+	c.Append(
+		H(0),       // 0
+		H(2),       // 1
+		H(3),       // 2
+		CX(1, 2),   // 3 depends on H(2)? no: on q1 nothing, q2 -> gate 1
+		CX(0, 1),   // 4 depends on gates 0 and 3
+		RZ(1, 0.3), // 5
+		CX(2, 3),   // 6
+		H(1),       // 7
+	)
+	return c
+}
+
+func TestFrontLayer(t *testing.T) {
+	d := BuildDAG(vqe4())
+	front := d.FrontLayer()
+	// Gates 0 (H q0), 1 (H q2), 2 (H q3) have no predecessors; gate 3
+	// (CX q1,q2) depends on gate 1.
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(front) != 3 {
+		t.Fatalf("front layer = %v, want 3 gates", front)
+	}
+	for _, i := range front {
+		if !want[i] {
+			t.Fatalf("unexpected front gate %d (%v)", i, front)
+		}
+	}
+}
+
+func TestDAGEdges(t *testing.T) {
+	d := BuildDAG(vqe4())
+	// Gate 4 = CX(0,1) must depend on gate 0 (H q0) and gate 3 (CX q1,q2).
+	preds := d.Preds(4)
+	got := map[int]bool{}
+	for _, p := range preds {
+		got[p] = true
+	}
+	if len(preds) != 2 || !got[0] || !got[3] {
+		t.Fatalf("Preds(4) = %v, want {0,3}", preds)
+	}
+}
+
+func TestDAGNoDuplicateEdgeForSharedPred(t *testing.T) {
+	// CX(0,1) followed by CX(0,1): the second depends on the first exactly
+	// once even though they share both qubits.
+	c := New("dup", 2)
+	c.Append(CX(0, 1), CX(0, 1))
+	d := BuildDAG(c)
+	if len(d.Preds(1)) != 1 {
+		t.Fatalf("Preds(1) = %v, want exactly one edge", d.Preds(1))
+	}
+	if len(d.Succs(0)) != 1 {
+		t.Fatalf("Succs(0) = %v, want exactly one edge", d.Succs(0))
+	}
+}
+
+func TestCriticalPathLinear(t *testing.T) {
+	c := New("chain", 2)
+	c.Append(H(0), CX(0, 1), M(1))
+	d := BuildDAG(c)
+	total, finish := d.CriticalPath(func(i int) float64 {
+		switch c.Gates()[i].Kind {
+		case Single:
+			return 0.1
+		case Two:
+			return 1
+		default:
+			return 5
+		}
+	})
+	if total != 6.1 {
+		t.Fatalf("critical path = %v, want 6.1", total)
+	}
+	if finish[0] != 0.1 || finish[1] != 1.1 || finish[2] != 6.1 {
+		t.Fatalf("finish times = %v", finish)
+	}
+}
+
+func TestCriticalPathParallelism(t *testing.T) {
+	c := New("par", 4)
+	c.Append(H(0), H(1), H(2), H(3))
+	d := BuildDAG(c)
+	total, _ := d.CriticalPath(func(int) float64 { return 0.1 })
+	if total != 0.1 {
+		t.Fatalf("parallel H layer critical path = %v, want 0.1", total)
+	}
+}
+
+func TestHeightsChain(t *testing.T) {
+	c := New("chain", 2)
+	c.Append(H(0), CX(0, 1), M(1))
+	h := BuildDAG(c).Heights()
+	if h[0] != 2 || h[1] != 1 || h[2] != 0 {
+		t.Fatalf("Heights = %v, want [2 1 0]", h)
+	}
+}
+
+func TestHeightsBranching(t *testing.T) {
+	// Gate 0 feeds two branches of different lengths; its height is the
+	// longer one.
+	c := New("branch", 3)
+	c.Append(CX(0, 1), H(0), CX(1, 2), M(2))
+	h := BuildDAG(c).Heights()
+	// 0 -> 1 (H q0): length 1; 0 -> 2 -> 3: length 2.
+	if h[0] != 2 {
+		t.Fatalf("Heights[0] = %d, want 2", h[0])
+	}
+}
+
+func TestTopologicalIsProgramOrder(t *testing.T) {
+	d := BuildDAG(vqe4())
+	order := d.Topological()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("Topological() = %v, want identity order", order)
+		}
+	}
+}
+
+// Property: every DAG edge points forward in program order, and front
+// layer is non-empty for non-empty circuits.
+func TestQuickDAGForwardEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3 + int(uint64(seed)%5)
+		c := New("rand", n)
+		s := uint64(seed)
+		for i := 0; i < 30; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			a := int(s % uint64(n))
+			s = s*6364136223846793005 + 1442695040888963407
+			b := int(s % uint64(n))
+			if a == b {
+				c.Append(H(a))
+			} else {
+				c.Append(CX(a, b))
+			}
+		}
+		d := BuildDAG(c)
+		for i := 0; i < d.Len(); i++ {
+			for _, su := range d.Succs(i) {
+				if su <= i {
+					return false
+				}
+			}
+		}
+		return len(d.FrontLayer()) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

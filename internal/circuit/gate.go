@@ -1,0 +1,141 @@
+// Package circuit defines the quantum-circuit intermediate representation
+// used by CloudQC: gates, circuits, the gate dependency DAG, the front
+// layer, and the qubit interaction graph that placement partitions.
+//
+// The IR is structural: gate matrices are never simulated. Placement and
+// scheduling only need which qubits each gate touches, gate ordering, and
+// per-gate latency class (Table I of the paper).
+package circuit
+
+import "fmt"
+
+// Kind classifies a gate by its latency/interaction class.
+type Kind int
+
+// Gate kinds, in Table I order.
+const (
+	// Single is any one-qubit gate (H, X, RZ, ...): latency t1q.
+	Single Kind = iota + 1
+	// Two is any two-qubit gate (CX, CZ, ...): latency t2q; becomes a
+	// remote gate when its qubits are placed on different QPUs.
+	Two
+	// Measure reads out one qubit: latency tms.
+	Measure
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Single:
+		return "1q"
+	case Two:
+		return "2q"
+	case Measure:
+		return "measure"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Gate is one operation on one or two qubits. Param carries a rotation
+// angle when meaningful (RZ, RX, CP, ...); it does not affect placement or
+// scheduling but is preserved for QASM round-trips.
+type Gate struct {
+	Name   string
+	Kind   Kind
+	Qubits [2]int // Qubits[1] is -1 for one-qubit gates and measures
+	Param  float64
+}
+
+// Arity returns the number of qubits the gate touches (1 or 2).
+func (g Gate) Arity() int {
+	if g.Kind == Two {
+		return 2
+	}
+	return 1
+}
+
+// On reports whether the gate acts on qubit q.
+func (g Gate) On(q int) bool {
+	return g.Qubits[0] == q || (g.Kind == Two && g.Qubits[1] == q)
+}
+
+// String implements fmt.Stringer.
+func (g Gate) String() string {
+	if g.Kind == Two {
+		return fmt.Sprintf("%s q%d,q%d", g.Name, g.Qubits[0], g.Qubits[1])
+	}
+	return fmt.Sprintf("%s q%d", g.Name, g.Qubits[0])
+}
+
+// Common gate constructors. They exist so generator code reads like a
+// circuit listing and so kind/arity invariants are enforced in one place.
+
+// H returns a Hadamard gate on q.
+func H(q int) Gate { return Gate{Name: "h", Kind: Single, Qubits: [2]int{q, -1}} }
+
+// X returns a Pauli-X gate on q.
+func X(q int) Gate { return Gate{Name: "x", Kind: Single, Qubits: [2]int{q, -1}} }
+
+// Y returns a Pauli-Y gate on q.
+func Y(q int) Gate { return Gate{Name: "y", Kind: Single, Qubits: [2]int{q, -1}} }
+
+// Z returns a Pauli-Z gate on q.
+func Z(q int) Gate { return Gate{Name: "z", Kind: Single, Qubits: [2]int{q, -1}} }
+
+// T returns a T gate on q.
+func T(q int) Gate { return Gate{Name: "t", Kind: Single, Qubits: [2]int{q, -1}} }
+
+// Tdg returns a T-dagger gate on q.
+func Tdg(q int) Gate { return Gate{Name: "tdg", Kind: Single, Qubits: [2]int{q, -1}} }
+
+// S returns an S gate on q.
+func S(q int) Gate { return Gate{Name: "s", Kind: Single, Qubits: [2]int{q, -1}} }
+
+// RX returns an X-rotation by theta on q.
+func RX(q int, theta float64) Gate {
+	return Gate{Name: "rx", Kind: Single, Qubits: [2]int{q, -1}, Param: theta}
+}
+
+// RY returns a Y-rotation by theta on q.
+func RY(q int, theta float64) Gate {
+	return Gate{Name: "ry", Kind: Single, Qubits: [2]int{q, -1}, Param: theta}
+}
+
+// RZ returns a Z-rotation by theta on q.
+func RZ(q int, theta float64) Gate {
+	return Gate{Name: "rz", Kind: Single, Qubits: [2]int{q, -1}, Param: theta}
+}
+
+// CX returns a CNOT with control c and target t.
+func CX(c, t int) Gate {
+	mustDistinct(c, t)
+	return Gate{Name: "cx", Kind: Two, Qubits: [2]int{c, t}}
+}
+
+// CZ returns a controlled-Z on c and t.
+func CZ(c, t int) Gate {
+	mustDistinct(c, t)
+	return Gate{Name: "cz", Kind: Two, Qubits: [2]int{c, t}}
+}
+
+// CP returns a controlled phase rotation by theta on c and t.
+func CP(c, t int, theta float64) Gate {
+	mustDistinct(c, t)
+	return Gate{Name: "cp", Kind: Two, Qubits: [2]int{c, t}, Param: theta}
+}
+
+// Swap returns a SWAP gate on a and b.
+func Swap(a, b int) Gate {
+	mustDistinct(a, b)
+	return Gate{Name: "swap", Kind: Two, Qubits: [2]int{a, b}}
+}
+
+// M returns a measurement of q.
+func M(q int) Gate { return Gate{Name: "measure", Kind: Measure, Qubits: [2]int{q, -1}} }
+
+func mustDistinct(a, b int) {
+	if a == b {
+		panic(fmt.Sprintf("circuit: two-qubit gate with identical qubits %d", a))
+	}
+}

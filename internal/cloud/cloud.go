@@ -1,0 +1,160 @@
+// Package cloud models the quantum cloud of the paper (Sec. III): a set
+// of QPUs, each with computing qubits (run gates) and communication
+// qubits (generate EPR pairs for remote gates), connected by quantum
+// links in a fixed topology managed by a central controller.
+package cloud
+
+import (
+	"fmt"
+
+	"cloudqc/internal/graph"
+)
+
+// QPU is one quantum processing unit. Computing qubits are reserved for
+// the lifetime of a placed circuit; communication qubits are claimed and
+// returned every EPR-attempt round by the network scheduler.
+type QPU struct {
+	// ID is the QPU's vertex index in the cloud topology.
+	ID int
+	// Computing is the total number of computing qubits.
+	Computing int
+	// Comm is the total number of communication qubits.
+	Comm int
+
+	used int
+}
+
+// FreeComputing returns the number of unreserved computing qubits.
+func (q *QPU) FreeComputing() int { return q.Computing - q.used }
+
+// UsedComputing returns the number of reserved computing qubits.
+func (q *QPU) UsedComputing() int { return q.used }
+
+// Cloud is a cluster of QPUs and its quantum-link topology. Hop
+// distances are precomputed: the paper's placement cost C_ij is the
+// path length between QPU i and QPU j.
+type Cloud struct {
+	qpus []*QPU
+	topo *graph.Graph
+	dist [][]int
+}
+
+// New builds a cloud over the given topology where every QPU has the
+// same computing and communication qubit counts (the paper's default is
+// 20 QPUs x 20 computing + 5 communication qubits).
+func New(topo *graph.Graph, computing, comm int) *Cloud {
+	if computing <= 0 || comm < 0 {
+		panic(fmt.Sprintf("cloud: invalid qubit counts computing=%d comm=%d", computing, comm))
+	}
+	qpus := make([]*QPU, topo.N())
+	for i := range qpus {
+		qpus[i] = &QPU{ID: i, Computing: computing, Comm: comm}
+	}
+	return &Cloud{qpus: qpus, topo: topo, dist: topo.AllPairsHops()}
+}
+
+// NewRandom builds a cloud over a connected Erdős–Rényi topology
+// (paper default: edge probability 0.3).
+func NewRandom(n int, pEdge float64, computing, comm int, seed int64) *Cloud {
+	return New(graph.Random(n, pEdge, seed), computing, comm)
+}
+
+// NumQPUs returns the number of QPUs.
+func (c *Cloud) NumQPUs() int { return len(c.qpus) }
+
+// QPU returns the i-th QPU.
+func (c *Cloud) QPU(i int) *QPU { return c.qpus[i] }
+
+// Topology returns the quantum-link graph. Callers must not modify it.
+func (c *Cloud) Topology() *graph.Graph { return c.topo }
+
+// Distance returns the hop count between QPUs i and j (C_ij in the
+// paper's placement objective), or -1 if disconnected.
+func (c *Cloud) Distance(i, j int) int { return c.dist[i][j] }
+
+// Path returns one shortest QPU path from i to j inclusive.
+func (c *Cloud) Path(i, j int) []int { return c.topo.ShortestPath(i, j) }
+
+// Reserve claims n computing qubits on QPU i, failing if fewer are free.
+func (c *Cloud) Reserve(i, n int) error {
+	q := c.qpus[i]
+	if n < 0 {
+		return fmt.Errorf("cloud: negative reservation %d", n)
+	}
+	if q.FreeComputing() < n {
+		return fmt.Errorf("cloud: QPU %d has %d free computing qubits, need %d",
+			i, q.FreeComputing(), n)
+	}
+	q.used += n
+	return nil
+}
+
+// Release returns n computing qubits to QPU i. Releasing more than is
+// reserved panics: that is always an accounting bug.
+func (c *Cloud) Release(i, n int) {
+	q := c.qpus[i]
+	if n < 0 || n > q.used {
+		panic(fmt.Sprintf("cloud: release %d on QPU %d with %d used", n, i, q.used))
+	}
+	q.used -= n
+}
+
+// FreeComputing returns the free computing qubits of QPU i.
+func (c *Cloud) FreeComputing(i int) int { return c.qpus[i].FreeComputing() }
+
+// TotalFreeComputing sums free computing qubits across the cloud.
+func (c *Cloud) TotalFreeComputing() int {
+	total := 0
+	for _, q := range c.qpus {
+		total += q.FreeComputing()
+	}
+	return total
+}
+
+// MaxFreeComputing returns the largest single-QPU free computing count;
+// circuits at or below it can run without distribution.
+func (c *Cloud) MaxFreeComputing() int {
+	m := 0
+	for _, q := range c.qpus {
+		if f := q.FreeComputing(); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// FreeSnapshot returns the current free computing qubits per QPU.
+func (c *Cloud) FreeSnapshot() []int {
+	s := make([]int, len(c.qpus))
+	for i, q := range c.qpus {
+		s[i] = q.FreeComputing()
+	}
+	return s
+}
+
+// CapacityGraph returns a copy of the topology whose edge weights embed
+// the endpoints' free computing qubits (paper Sec. V-B: "we can embed
+// the number of computing qubits into the edge weight"), so community
+// detection favors dense groups of QPUs with spare capacity.
+func (c *Cloud) CapacityGraph() *graph.Graph {
+	g := graph.New(c.topo.N())
+	for _, e := range c.topo.Edges() {
+		free := float64(c.qpus[e.U].FreeComputing() + c.qpus[e.V].FreeComputing())
+		g.AddEdge(e.U, e.V, 1+free)
+	}
+	return g
+}
+
+// Utilization returns the fraction of computing qubits currently
+// reserved, in [0, 1].
+func (c *Cloud) Utilization() float64 {
+	used, total := 0, 0
+	for _, q := range c.qpus {
+		used += q.used
+		total += q.Computing
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}

@@ -1,0 +1,188 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudqc/internal/graph"
+)
+
+func testCloud() *Cloud {
+	// 4 QPUs on a path: 0-1-2-3.
+	return New(graph.Path(4), 20, 5)
+}
+
+func TestNewDefaults(t *testing.T) {
+	c := testCloud()
+	if c.NumQPUs() != 4 {
+		t.Fatalf("NumQPUs = %d", c.NumQPUs())
+	}
+	q := c.QPU(2)
+	if q.Computing != 20 || q.Comm != 5 || q.FreeComputing() != 20 {
+		t.Fatalf("QPU = %+v", q)
+	}
+	if c.TotalFreeComputing() != 80 {
+		t.Fatalf("TotalFreeComputing = %d", c.TotalFreeComputing())
+	}
+}
+
+func TestDistanceIsHops(t *testing.T) {
+	c := testCloud()
+	if d := c.Distance(0, 3); d != 3 {
+		t.Fatalf("Distance(0,3) = %d, want 3", d)
+	}
+	if d := c.Distance(1, 1); d != 0 {
+		t.Fatalf("Distance(1,1) = %d, want 0", d)
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	c := testCloud()
+	p := c.Path(0, 2)
+	if len(p) != 3 || p[0] != 0 || p[2] != 2 {
+		t.Fatalf("Path(0,2) = %v", p)
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	c := testCloud()
+	if err := c.Reserve(1, 15); err != nil {
+		t.Fatal(err)
+	}
+	if f := c.FreeComputing(1); f != 5 {
+		t.Fatalf("free after reserve = %d, want 5", f)
+	}
+	if err := c.Reserve(1, 6); err == nil {
+		t.Fatal("over-reservation should fail")
+	}
+	c.Release(1, 15)
+	if f := c.FreeComputing(1); f != 20 {
+		t.Fatalf("free after release = %d, want 20", f)
+	}
+}
+
+func TestReserveNegative(t *testing.T) {
+	c := testCloud()
+	if err := c.Reserve(0, -1); err == nil {
+		t.Fatal("negative reservation should fail")
+	}
+}
+
+func TestReleaseTooMuchPanics(t *testing.T) {
+	c := testCloud()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release should panic")
+		}
+	}()
+	c.Release(0, 1)
+}
+
+func TestMaxFreeComputing(t *testing.T) {
+	c := testCloud()
+	if err := c.Reserve(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.MaxFreeComputing(); m != 20 {
+		t.Fatalf("MaxFreeComputing = %d, want 20", m)
+	}
+}
+
+func TestFreeSnapshot(t *testing.T) {
+	c := testCloud()
+	if err := c.Reserve(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	s := c.FreeSnapshot()
+	want := []int{20, 20, 13, 20}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestCapacityGraphEmbedsFreeQubits(t *testing.T) {
+	c := testCloud()
+	g1 := c.CapacityGraph()
+	if w := g1.Weight(0, 1); w != 41 { // 1 + 20 + 20
+		t.Fatalf("weight before reserve = %v, want 41", w)
+	}
+	if err := c.Reserve(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	g2 := c.CapacityGraph()
+	if w := g2.Weight(0, 1); w != 31 { // 1 + 10 + 20
+		t.Fatalf("weight after reserve = %v, want 31", w)
+	}
+	if g2.HasEdge(0, 2) {
+		t.Fatal("capacity graph must preserve topology (no 0-2 edge)")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := testCloud()
+	if u := c.Utilization(); u != 0 {
+		t.Fatalf("initial utilization = %v", u)
+	}
+	if err := c.Reserve(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.Utilization(); u != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestNewRandomConnected(t *testing.T) {
+	c := NewRandom(20, 0.3, 20, 5, 7)
+	if c.NumQPUs() != 20 {
+		t.Fatalf("NumQPUs = %d", c.NumQPUs())
+	}
+	if !c.Topology().Connected() {
+		t.Fatal("random cloud topology must be connected")
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if c.Distance(i, j) < 0 {
+				t.Fatalf("Distance(%d,%d) unreachable", i, j)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero computing qubits should panic")
+		}
+	}()
+	New(graph.Path(2), 0, 5)
+}
+
+// Property: reserve/release round trips preserve total free capacity.
+func TestQuickReserveReleaseConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		c := NewRandom(5, 0.5, 20, 5, seed)
+		before := c.TotalFreeComputing()
+		s := uint64(seed)
+		var reserved [5]int
+		for i := 0; i < 20; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			q := int(s>>33) % 5
+			n := int(s>>17) % 8
+			if c.Reserve(q, n) == nil {
+				reserved[q] += n
+			}
+		}
+		for q, n := range reserved {
+			c.Release(q, n)
+		}
+		return c.TotalFreeComputing() == before && c.Utilization() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

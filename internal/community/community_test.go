@@ -1,0 +1,165 @@
+package community
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudqc/internal/graph"
+)
+
+// twoCliques builds two k-cliques joined by a single bridge.
+func twoCliques(k int) *graph.Graph {
+	g := graph.New(2 * k)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			g.AddEdge(a, b, 1)
+			g.AddEdge(k+a, k+b, 1)
+		}
+	}
+	g.AddEdge(0, k, 1)
+	return g
+}
+
+func TestModularityKnownValue(t *testing.T) {
+	// Two disjoint edges, each its own community:
+	// m = 2, each community: internal 2*1/4 = 0.5, (deg 2/4)^2 = 0.25.
+	// Q = 2 * (0.5 - 0.25) = 0.5.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	q := Modularity(g, []int{0, 0, 1, 1})
+	if math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("Q = %v, want 0.5", q)
+	}
+}
+
+func TestModularityAllOneCommunity(t *testing.T) {
+	// Everything in one community always has Q = 0.
+	g := twoCliques(4)
+	assign := make([]int, g.N())
+	if q := Modularity(g, assign); math.Abs(q) > 1e-12 {
+		t.Fatalf("Q(single community) = %v, want 0", q)
+	}
+}
+
+func TestModularityEdgeless(t *testing.T) {
+	g := graph.New(5)
+	if q := Modularity(g, []int{0, 1, 2, 3, 4}); q != 0 {
+		t.Fatalf("Q(edgeless) = %v, want 0", q)
+	}
+}
+
+func TestDetectTwoCliques(t *testing.T) {
+	g := twoCliques(6)
+	c := Detect(g)
+	if len(c.Groups) != 2 {
+		t.Fatalf("detected %d communities, want 2: %v", len(c.Groups), c.Groups)
+	}
+	// Each clique must land in one community.
+	for v := 1; v < 6; v++ {
+		if c.Assign[v] != c.Assign[0] {
+			t.Fatalf("clique 1 split: %v", c.Assign)
+		}
+		if c.Assign[6+v] != c.Assign[6] {
+			t.Fatalf("clique 2 split: %v", c.Assign)
+		}
+	}
+	if c.Assign[0] == c.Assign[6] {
+		t.Fatal("cliques merged into one community")
+	}
+}
+
+func TestDetectRespectsWeights(t *testing.T) {
+	// A 4-cycle with two heavy opposite edges: communities follow the
+	// heavy edges.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 0, 1)
+	c := Detect(g)
+	if c.Assign[0] != c.Assign[1] || c.Assign[2] != c.Assign[3] || c.Assign[0] == c.Assign[2] {
+		t.Fatalf("weighted communities wrong: %v", c.Assign)
+	}
+}
+
+func TestDetectEdgeless(t *testing.T) {
+	g := graph.New(3)
+	c := Detect(g)
+	if len(c.Groups) != 3 {
+		t.Fatalf("edgeless graph should yield singleton communities, got %v", c.Groups)
+	}
+}
+
+func TestDetectEmptyGraph(t *testing.T) {
+	c := Detect(graph.New(0))
+	if len(c.Groups) != 0 || len(c.Assign) != 0 {
+		t.Fatalf("empty graph result: %+v", c)
+	}
+}
+
+func TestDetectDeterminism(t *testing.T) {
+	g := graph.Random(25, 0.2, 5)
+	a, b := Detect(g), Detect(g)
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			t.Fatal("non-deterministic detection")
+		}
+	}
+}
+
+func TestGroupsCanonical(t *testing.T) {
+	g := twoCliques(3)
+	c := Detect(g)
+	if c.Groups[0][0] > c.Groups[1][0] {
+		t.Fatalf("groups not ordered by smallest member: %v", c.Groups)
+	}
+	for _, grp := range c.Groups {
+		for i := 1; i < len(grp); i++ {
+			if grp[i-1] >= grp[i] {
+				t.Fatalf("group not sorted: %v", grp)
+			}
+		}
+	}
+}
+
+// Property: Detect's reported Q matches Modularity of its assignment and
+// is never worse than the trivial single-community division (Q = 0) on
+// connected graphs.
+func TestQuickDetectConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(15, 0.25, seed)
+		c := Detect(g)
+		if math.Abs(c.Q-Modularity(g, c.Assign)) > 1e-9 {
+			return false
+		}
+		return c.Q >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: community ids are dense and every group matches Assign.
+func TestQuickCanonicalForm(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(12, 0.3, seed)
+		c := Detect(g)
+		for id, grp := range c.Groups {
+			for _, v := range grp {
+				if c.Assign[v] != id {
+					return false
+				}
+			}
+		}
+		total := 0
+		for _, grp := range c.Groups {
+			total += len(grp)
+		}
+		return total == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

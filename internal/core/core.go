@@ -1,0 +1,355 @@
+// Package core is CloudQC's multi-tenant controller: it admits quantum
+// circuit jobs into the cloud (batch-ordered by the paper's intensity
+// metric, Eq. 11, or FIFO), places them with a pluggable placement
+// algorithm, and executes all active jobs' remote DAGs concurrently —
+// sharing every QPU's communication qubits across tenants each EPR round
+// and releasing computing qubits as jobs complete.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/sched"
+)
+
+// Job is one tenant's circuit submission.
+type Job struct {
+	// ID identifies the job in results; unique within one Run.
+	ID int
+	// Circuit is the submitted program.
+	Circuit *circuit.Circuit
+	// Arrival is the submission time (0 for batch mode).
+	Arrival float64
+}
+
+// JobResult reports one job's fate.
+type JobResult struct {
+	Job *Job
+	// Failed is set when the job could never be placed (e.g. larger than
+	// the whole cloud); the remaining fields are zero.
+	Failed bool
+	// PlacedAt is when computing qubits were reserved.
+	PlacedAt float64
+	// Finished is when the last gate (including trailing local gates)
+	// completed.
+	Finished float64
+	// JCT = Finished − Arrival (queueing included), the paper's metric.
+	JCT float64
+	// WaitTime = PlacedAt − Arrival.
+	WaitTime float64
+	// RemoteGates is the job's remote DAG size under its placement.
+	RemoteGates int
+	// Placement is the qubit→QPU assignment used.
+	Placement *place.Placement
+}
+
+// BatchWeights are Eq. 11's λ coefficients for the intensity metric
+// I = λ1·(#2q/n) + λ2·n + λ3·depth.
+type BatchWeights struct {
+	L1, L2, L3 float64
+}
+
+// DefaultBatchWeights weights the three terms equally.
+func DefaultBatchWeights() BatchWeights { return BatchWeights{L1: 1, L2: 1, L3: 1} }
+
+// Intensity computes Eq. 11 for a circuit.
+func Intensity(c *circuit.Circuit, w BatchWeights) float64 {
+	n := float64(c.NumQubits())
+	return w.L1*float64(c.TwoQubitGateCount())/n + w.L2*n + w.L3*float64(c.Depth())
+}
+
+// Mode selects the job admission order.
+type Mode int
+
+const (
+	// BatchMode orders waiting jobs by descending intensity (CloudQC's
+	// batch manager).
+	BatchMode Mode = iota + 1
+	// FIFOMode admits strictly in arrival order (CloudQC-FIFO baseline).
+	FIFOMode
+)
+
+// Config assembles a Controller.
+type Config struct {
+	// Cloud is the shared QPU cluster. Run mutates its reservations.
+	Cloud *cloud.Cloud
+	// Placer decides qubit→QPU assignments (default: CloudQC placement).
+	Placer place.Placer
+	// Policy divides communication qubits each round (default CloudQC).
+	Policy sched.Policy
+	// Model is the latency/EPR model (default: Table I, p=0.3).
+	Model epr.Model
+	// Weights are the batch manager's λ coefficients.
+	Weights BatchWeights
+	// Mode selects batch or FIFO admission (default batch).
+	Mode Mode
+	// Seed drives EPR sampling and randomized policies.
+	Seed int64
+	// Recorder, when non-nil, receives one utilization/queue sample per
+	// scheduling round.
+	Recorder *metrics.Recorder
+}
+
+// Controller executes multi-tenant workloads on a quantum cloud.
+type Controller struct {
+	cfg Config
+	rng *rand.Rand
+	// intensity memoizes Eq. 11 per job ID for the batch manager's sort.
+	intensity map[int]float64
+}
+
+// NewController validates the configuration and applies defaults.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Cloud == nil {
+		return nil, errors.New("core: Config.Cloud is required")
+	}
+	if cfg.Placer == nil {
+		cfg.Placer = place.NewCloudQC(place.DefaultConfig())
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = sched.CloudQCPolicy{}
+	}
+	if cfg.Model.EPRAttempt == 0 {
+		cfg.Model = epr.DefaultModel()
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Weights == (BatchWeights{}) {
+		cfg.Weights = DefaultBatchWeights()
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = BatchMode
+	}
+	for i := 0; i < cfg.Cloud.NumQPUs(); i++ {
+		if cfg.Cloud.QPU(i).Comm < 1 {
+			return nil, fmt.Errorf("core: QPU %d has no communication qubits", i)
+		}
+	}
+	return &Controller{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		intensity: make(map[int]float64),
+	}, nil
+}
+
+// activeJob is one placed, executing job.
+type activeJob struct {
+	job       *Job
+	state     *sched.JobState
+	placement *place.Placement
+	placedAt  float64
+}
+
+// Run executes the jobs to completion and returns their results ordered
+// by job ID. The cloud's computing-qubit reservations are restored to
+// their initial state before returning.
+func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
+	results := make(map[int]*JobResult, len(jobs))
+	totalComputing := 0
+	for i := 0; i < ct.cfg.Cloud.NumQPUs(); i++ {
+		totalComputing += ct.cfg.Cloud.QPU(i).Computing
+	}
+	var queue []*Job
+	for _, j := range jobs {
+		if j.Circuit == nil {
+			return nil, fmt.Errorf("core: job %d has no circuit", j.ID)
+		}
+		if _, dup := results[j.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate job ID %d", j.ID)
+		}
+		results[j.ID] = &JobResult{Job: j}
+		queue = append(queue, j)
+	}
+
+	var active []*activeJob
+	// releases holds (time, placement) pairs for computing qubits whose
+	// jobs finished but whose trailing local work ends later.
+	type release struct {
+		at        float64
+		placement *place.Placement
+	}
+	var releases []release
+
+	t := 0.0
+	capacityChanged := true
+	budget := make([]int, ct.cfg.Cloud.NumQPUs())
+
+	for len(queue) > 0 || len(active) > 0 {
+		// Apply matured releases.
+		kept := releases[:0]
+		for _, r := range releases {
+			if r.at <= t {
+				r.placement.Release(ct.cfg.Cloud)
+				capacityChanged = true
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		releases = kept
+
+		// Admission: try placing waiting, arrived jobs.
+		if capacityChanged {
+			var err error
+			queue, active, err = ct.admit(queue, active, results, t, totalComputing)
+			if err != nil {
+				return nil, err
+			}
+			capacityChanged = false
+		}
+
+		if ct.cfg.Recorder != nil {
+			ct.cfg.Recorder.Record(metrics.Sample{
+				Time:        t,
+				Utilization: ct.cfg.Cloud.Utilization(),
+				Active:      len(active),
+				Queued:      len(queue),
+			})
+		}
+
+		// One shared EPR round across every active job.
+		var reqs []sched.Request
+		readyByJob := make(map[int][]int, len(active))
+		for idx, aj := range active {
+			ready := aj.state.Ready(t)
+			readyByJob[idx] = ready
+			reqs = append(reqs, aj.state.Requests(idx, ready)...)
+		}
+		if len(reqs) > 0 {
+			for i := range budget {
+				budget[i] = ct.cfg.Cloud.QPU(i).Comm
+			}
+			alloc := ct.cfg.Policy.Allocate(reqs, budget, ct.rng)
+			for idx, aj := range active {
+				for _, u := range readyByJob[idx] {
+					aj.state.Attempt(u, alloc[sched.NodeKey{Job: idx, Node: u}], t, ct.cfg.Model, ct.rng)
+				}
+			}
+		}
+
+		// Retire completed jobs.
+		remaining := active[:0]
+		for _, aj := range active {
+			if !aj.state.Done() {
+				remaining = append(remaining, aj)
+				continue
+			}
+			finished := aj.state.JCT()
+			res := results[aj.job.ID]
+			res.PlacedAt = aj.placedAt
+			res.Finished = finished
+			res.JCT = finished - aj.job.Arrival
+			res.WaitTime = aj.placedAt - aj.job.Arrival
+			releases = append(releases, release{at: finished, placement: aj.placement})
+		}
+		active = remaining
+
+		if len(queue) == 0 && len(active) == 0 {
+			break
+		}
+
+		// Advance the clock: to the next round if anything is running,
+		// otherwise jump to the next enabling event (arrival or release).
+		next := t + ct.cfg.Model.EPRAttempt
+		if len(active) == 0 {
+			next = math.Inf(1)
+			for _, j := range queue {
+				if j.Arrival > t && j.Arrival < next {
+					next = j.Arrival
+				}
+			}
+			for _, r := range releases {
+				if r.at > t && r.at < next {
+					next = r.at
+				}
+			}
+			if math.IsInf(next, 1) {
+				// Waiting jobs, nothing running, nothing to release:
+				// capacity will never change again.
+				return nil, fmt.Errorf("core: %d jobs unplaceable with all resources free", len(queue))
+			}
+			capacityChanged = true
+		}
+		t = next
+	}
+
+	// Final releases restore the cloud.
+	for _, r := range releases {
+		r.placement.Release(ct.cfg.Cloud)
+	}
+
+	out := make([]*JobResult, 0, len(results))
+	for _, j := range jobs {
+		out = append(out, results[j.ID])
+	}
+	return out, nil
+}
+
+// admit tries to place every waiting job that has arrived, in batch or
+// FIFO order. Jobs larger than the whole cloud are marked failed.
+func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*JobResult, t float64, totalComputing int) ([]*Job, []*activeJob, error) {
+	arrived := make([]*Job, 0, len(queue))
+	var waiting []*Job
+	for _, j := range queue {
+		if j.Arrival <= t {
+			arrived = append(arrived, j)
+		} else {
+			waiting = append(waiting, j)
+		}
+	}
+	if ct.cfg.Mode == BatchMode {
+		for _, j := range arrived {
+			if _, ok := ct.intensity[j.ID]; !ok {
+				ct.intensity[j.ID] = Intensity(j.Circuit, ct.cfg.Weights)
+			}
+		}
+		// Ascending intensity: the metric estimates a job's cost (2-qubit
+		// density, width, depth), so cheapest-first minimizes mean JCT —
+		// the ordering that yields the paper's CDF improvement over FIFO.
+		sort.SliceStable(arrived, func(i, k int) bool {
+			return ct.intensity[arrived[i].ID] < ct.intensity[arrived[k].ID]
+		})
+	}
+	for _, j := range arrived {
+		if j.Circuit.NumQubits() > totalComputing {
+			results[j.ID].Failed = true
+			continue
+		}
+		pl, err := ct.cfg.Placer.Place(ct.cfg.Cloud, j.Circuit)
+		if err != nil {
+			var infeasible *place.ErrInfeasible
+			if errors.As(err, &infeasible) {
+				waiting = append(waiting, j) // retry after a release
+				continue
+			}
+			return nil, nil, fmt.Errorf("core: placing job %d: %w", j.ID, err)
+		}
+		if err := pl.Reserve(ct.cfg.Cloud); err != nil {
+			waiting = append(waiting, j)
+			continue
+		}
+		dag := sched.BuildRemoteDAG(j.Circuit, ct.cfg.Cloud, pl.QubitToQPU, ct.cfg.Model.Latency)
+		state := sched.NewJobState(dag, t)
+		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t})
+		results[j.ID].RemoteGates = dag.Len()
+		results[j.ID].Placement = pl
+	}
+	// Preserve arrival order among the still-waiting arrived jobs by
+	// re-sorting the combined waiting list on (Arrival, ID).
+	sort.SliceStable(waiting, func(i, k int) bool {
+		if waiting[i].Arrival != waiting[k].Arrival {
+			return waiting[i].Arrival < waiting[k].Arrival
+		}
+		return waiting[i].ID < waiting[k].ID
+	})
+	return waiting, active, nil
+}

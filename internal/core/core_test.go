@@ -1,0 +1,342 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/qlib"
+	"cloudqc/internal/sched"
+)
+
+func testCloud() *cloud.Cloud {
+	return cloud.NewRandom(20, 0.3, 20, 5, 1)
+}
+
+func controller(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	if cfg.Cloud == nil {
+		cfg.Cloud = testCloud()
+	}
+	ct, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestIntensityMetric(t *testing.T) {
+	c := qlib.GHZ(10) // 9 CX, depth 11 with measures, 10 qubits
+	got := Intensity(c, BatchWeights{L1: 1, L2: 1, L3: 1})
+	want := 9.0/10 + 10 + 11
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Intensity = %v, want %v", got, want)
+	}
+	// λ weights scale the terms independently.
+	if Intensity(c, BatchWeights{L2: 1}) != 10 {
+		t.Fatal("L2-only intensity should equal qubit count")
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(Config{}); err == nil {
+		t.Fatal("nil cloud should error")
+	}
+	bad := Config{Cloud: testCloud(), Model: epr.Model{Latency: epr.DefaultLatency(), SuccessProb: 2}}
+	if _, err := NewController(bad); err == nil {
+		t.Fatal("invalid model should error")
+	}
+	noComm := Config{Cloud: cloud.New(graph.Path(2), 20, 0)}
+	if _, err := NewController(noComm); err == nil {
+		t.Fatal("zero-comm cloud should error")
+	}
+}
+
+func TestRunSingleSmallJob(t *testing.T) {
+	ct := controller(t, Config{Seed: 1})
+	jobs := []*Job{{ID: 1, Circuit: qlib.GHZ(10)}}
+	res, err := ct.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Failed {
+		t.Fatalf("results = %+v", res[0])
+	}
+	if res[0].RemoteGates != 0 {
+		t.Fatalf("10-qubit GHZ should be local, got %d remote gates", res[0].RemoteGates)
+	}
+	if res[0].JCT <= 0 {
+		t.Fatalf("JCT = %v", res[0].JCT)
+	}
+	// Cloud restored.
+	if ct.cfg.Cloud.Utilization() != 0 {
+		t.Fatal("cloud not restored after run")
+	}
+}
+
+func TestRunDistributedJob(t *testing.T) {
+	ct := controller(t, Config{Seed: 2})
+	jobs := []*Job{{ID: 7, Circuit: qlib.GHZ(127)}}
+	res, err := ct.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Failed || r.RemoteGates == 0 {
+		t.Fatalf("expected distributed execution: %+v", r)
+	}
+	if r.JCT <= 0 || r.Finished < r.PlacedAt {
+		t.Fatalf("inconsistent times: %+v", r)
+	}
+}
+
+func TestRunMultipleJobsAllComplete(t *testing.T) {
+	ct := controller(t, Config{Seed: 3})
+	var jobs []*Job
+	for i, name := range []string{"ghz_n127", "knn_n67", "ising_n66", "qugan_n71"} {
+		jobs = append(jobs, &Job{ID: i, Circuit: qlib.MustBuild(name)})
+	}
+	res, err := ct.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Failed {
+			t.Fatalf("job %d failed", r.Job.ID)
+		}
+		if r.JCT <= 0 {
+			t.Fatalf("job %d JCT = %v", r.Job.ID, r.JCT)
+		}
+	}
+	if ct.cfg.Cloud.Utilization() != 0 {
+		t.Fatal("cloud not restored")
+	}
+}
+
+func TestRunQueueingWhenOversubscribed(t *testing.T) {
+	// 6 x 127-qubit jobs on a 400-qubit cloud force queueing: at most 3
+	// can run at once, so at least one job must wait.
+	ct := controller(t, Config{Seed: 4})
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, &Job{ID: i, Circuit: qlib.GHZ(127)})
+	}
+	res, err := ct.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waited := 0
+	for _, r := range res {
+		if r.Failed {
+			t.Fatalf("job %d failed", r.Job.ID)
+		}
+		if r.WaitTime > 0 {
+			waited++
+		}
+	}
+	if waited == 0 {
+		t.Fatal("oversubscription should force at least one job to wait")
+	}
+}
+
+func TestRunJobLargerThanCloudFails(t *testing.T) {
+	small := cloud.New(graph.Path(3), 10, 5) // 30 qubits total
+	ct := controller(t, Config{Cloud: small, Seed: 5})
+	res, err := ct.Run([]*Job{
+		{ID: 0, Circuit: qlib.GHZ(127)},
+		{ID: 1, Circuit: qlib.GHZ(10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Failed {
+		t.Fatal("127-qubit job on 30-qubit cloud must fail")
+	}
+	if res[1].Failed {
+		t.Fatal("small job should still complete")
+	}
+}
+
+func TestRunDuplicateIDRejected(t *testing.T) {
+	ct := controller(t, Config{Seed: 6})
+	_, err := ct.Run([]*Job{
+		{ID: 1, Circuit: qlib.GHZ(5)},
+		{ID: 1, Circuit: qlib.GHZ(6)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate ID error", err)
+	}
+}
+
+func TestRunNilCircuitRejected(t *testing.T) {
+	ct := controller(t, Config{Seed: 6})
+	if _, err := ct.Run([]*Job{{ID: 1}}); err == nil {
+		t.Fatal("nil circuit should error")
+	}
+}
+
+func TestBatchModeOrdersByIntensity(t *testing.T) {
+	// Two jobs, cloud only fits one at a time. Batch mode runs the
+	// cheaper job (lower intensity) first even though it was submitted
+	// second — shortest-estimated-job-first.
+	small := cloud.New(graph.Path(2), 20, 5) // 40 qubits total
+	light := qlib.GHZ(30)
+	heavy := qlib.MustBuild("ising_n34")
+	if Intensity(heavy, DefaultBatchWeights()) <= Intensity(light, DefaultBatchWeights()) {
+		t.Skip("fixture assumption broken")
+	}
+	ct := controller(t, Config{Cloud: small, Mode: BatchMode, Seed: 7})
+	res, err := ct.Run([]*Job{
+		{ID: 0, Circuit: heavy},
+		{ID: 1, Circuit: light},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].PlacedAt > res[0].PlacedAt {
+		t.Fatalf("light job placed at %v after heavy at %v", res[1].PlacedAt, res[0].PlacedAt)
+	}
+}
+
+func TestFIFOModePreservesOrder(t *testing.T) {
+	// Heavy submitted first: FIFO must keep it first even though batch
+	// mode would reorder (light has lower intensity).
+	small := cloud.New(graph.Path(2), 20, 5)
+	light := qlib.GHZ(30)
+	heavy := qlib.MustBuild("ising_n34")
+	ct := controller(t, Config{Cloud: small, Mode: FIFOMode, Seed: 8})
+	res, err := ct.Run([]*Job{
+		{ID: 0, Circuit: heavy},
+		{ID: 1, Circuit: light},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].PlacedAt > res[1].PlacedAt {
+		t.Fatalf("FIFO violated: job 0 placed at %v, job 1 at %v", res[0].PlacedAt, res[1].PlacedAt)
+	}
+}
+
+func TestArrivalsRespected(t *testing.T) {
+	ct := controller(t, Config{Seed: 9})
+	res, err := ct.Run([]*Job{
+		{ID: 0, Circuit: qlib.GHZ(10), Arrival: 0},
+		{ID: 1, Circuit: qlib.GHZ(10), Arrival: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].PlacedAt < 500 {
+		t.Fatalf("job placed at %v before its arrival 500", res[1].PlacedAt)
+	}
+	if res[1].JCT >= res[1].Finished {
+		t.Fatal("JCT must be measured from arrival, not zero")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() []float64 {
+		ct := controller(t, Config{Cloud: cloud.NewRandom(20, 0.3, 20, 5, 1), Seed: 11})
+		var jobs []*Job
+		for i, name := range []string{"ghz_n127", "knn_n67"} {
+			jobs = append(jobs, &Job{ID: i, Circuit: qlib.MustBuild(name)})
+		}
+		res, err := ct.Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jcts []float64
+		for _, r := range res {
+			jcts = append(jcts, r.JCT)
+		}
+		return jcts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic JCTs: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCrossTenantContentionSlowsJobs(t *testing.T) {
+	// The same distributed job, alone vs alongside a competitor sharing
+	// the cloud: contention for communication qubits must not make it
+	// faster, and usually slows it.
+	mkJobs := func(n int) []*Job {
+		var jobs []*Job
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, &Job{ID: i, Circuit: qlib.MustBuild("knn_n67")})
+		}
+		return jobs
+	}
+	avgJCT := func(n int) float64 {
+		total := 0.0
+		const reps = 5
+		for s := int64(0); s < reps; s++ {
+			ct := controller(t, Config{Cloud: cloud.NewRandom(20, 0.3, 20, 5, 1), Seed: s})
+			res, err := ct.Run(mkJobs(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res[0].JCT
+		}
+		return total / reps
+	}
+	alone, contended := avgJCT(1), avgJCT(3)
+	if contended < alone*0.95 {
+		t.Fatalf("contended JCT %v unexpectedly beat solo %v", contended, alone)
+	}
+}
+
+func TestSchedulerPolicyPluggable(t *testing.T) {
+	for _, p := range []sched.Policy{sched.GreedyPolicy{}, sched.AveragePolicy{}, sched.RandomPolicy{}} {
+		ct := controller(t, Config{Cloud: cloud.NewRandom(20, 0.3, 20, 5, 1), Policy: p, Seed: 13})
+		res, err := ct.Run([]*Job{{ID: 0, Circuit: qlib.MustBuild("knn_n67")}})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res[0].Failed || res[0].JCT <= 0 {
+			t.Fatalf("%s: bad result %+v", p.Name(), res[0])
+		}
+	}
+}
+
+func TestRecorderCapturesUtilization(t *testing.T) {
+	rec := metrics.NewRecorder(0)
+	ct := controller(t, Config{Seed: 15, Recorder: rec})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, &Job{ID: i, Circuit: qlib.GHZ(127)})
+	}
+	if _, err := ct.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Samples()) == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+	if rec.PeakUtilization() <= 0 {
+		t.Fatal("peak utilization should be positive with running jobs")
+	}
+	if rec.PeakUtilization() > 1 {
+		t.Fatalf("utilization above 1: %v", rec.PeakUtilization())
+	}
+}
+
+func TestLocalJobJCTMatchesCriticalPath(t *testing.T) {
+	ct := controller(t, Config{Seed: 14})
+	c := circuit.New("tiny", 2)
+	c.Append(circuit.H(0), circuit.CX(0, 1), circuit.M(1))
+	res, err := ct.Run([]*Job{{ID: 0, Circuit: c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].JCT-6.1) > 1e-9 {
+		t.Fatalf("JCT = %v, want 6.1 (0.1 + 1 + 5)", res[0].JCT)
+	}
+}

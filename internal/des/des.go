@@ -1,0 +1,106 @@
+// Package des is a minimal discrete-event simulation engine: a clock and
+// a time-ordered event queue with stable FIFO ordering for simultaneous
+// events. The multi-tenant controller drives job arrivals, placement
+// retries, and scheduling rounds through it.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine owns the simulation clock and pending events. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+}
+
+// NewEngine returns an engine with the clock at 0 and no events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the
+// past panics — that is always a logic bug in the caller.
+func (e *Engine) Schedule(at float64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter enqueues fn to run delay units from now.
+func (e *Engine) ScheduleAfter(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", t, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	e.now = t
+}
+
+type event struct {
+	at  float64
+	seq int64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

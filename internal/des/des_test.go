@@ -1,0 +1,154 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.Schedule(2, func() {
+		e.ScheduleAfter(3, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 5 {
+		t.Fatalf("ScheduleAfter fired at %v, want 5", at)
+	}
+}
+
+func TestScheduleAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay should panic")
+		}
+	}()
+	NewEngine().ScheduleAfter(-1, func() {})
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 10 {
+			e.ScheduleAfter(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 10 {
+		t.Fatalf("depth = %d, want 10", depth)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("Now = %v, want 9", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 1 and 2", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired = %v", fired)
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil in the past should panic")
+		}
+	}()
+	e.RunUntil(1)
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine should return false")
+	}
+}
+
+// Property: events always execute in nondecreasing time order, whatever
+// the insertion order.
+func TestQuickTimeOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var seen []float64
+		for _, raw := range times {
+			at := float64(raw)
+			e.Schedule(at, func() { seen = append(seen, at) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/qlib"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: the
+// imbalance-factor sweep in placement, the batch manager's ordering,
+// congestion-aware multipath routing, and purification overhead under
+// link-fidelity constraints.
+
+// AblationImbalance compares CloudQC placement restricted to a single
+// imbalance factor against the full Algorithm 1 sweep, by communication
+// cost on one circuit. X carries the single-α values; the final series
+// entry (X = -1) is the full sweep.
+func AblationImbalance(o Options, circuitName string) (SweepSeries, error) {
+	o = o.withDefaults()
+	c, err := qlib.Build(circuitName)
+	if err != nil {
+		return SweepSeries{}, err
+	}
+	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
+	cl := cloud.New(topo, o.Computing, o.Comm)
+	s := SweepSeries{Method: "CloudQC"}
+	alphas := place.DefaultConfig().ImbalanceFactors
+	for _, alpha := range alphas {
+		cfg := place.DefaultConfig()
+		cfg.ImbalanceFactors = []float64{alpha}
+		cfg.Seed = o.Seed
+		pl, err := place.NewCloudQC(cfg).Place(cl, c)
+		if err != nil {
+			return SweepSeries{}, fmt.Errorf("ablation imbalance α=%v: %w", alpha, err)
+		}
+		s.X = append(s.X, alpha)
+		s.Y = append(s.Y, place.CommCost(c, cl, pl.QubitToQPU))
+	}
+	full := place.DefaultConfig()
+	full.Seed = o.Seed
+	pl, err := place.NewCloudQC(full).Place(cl, c)
+	if err != nil {
+		return SweepSeries{}, err
+	}
+	s.X = append(s.X, -1) // sentinel: full sweep
+	s.Y = append(s.Y, place.CommCost(c, cl, pl.QubitToQPU))
+	return s, nil
+}
+
+// AblationOrderRow is one batch-ordering policy's outcome.
+type AblationOrderRow struct {
+	Order   string
+	MeanJCT float64
+	P90JCT  float64
+}
+
+// AblationBatchOrder compares the batch manager's ascending-intensity
+// order (shortest estimated job first) against FIFO submission order on
+// a sampled batch, isolating the ordering decision (same placement,
+// same policy).
+func AblationBatchOrder(o Options, w workload.Workload, batchSize int) ([]AblationOrderRow, error) {
+	o = o.withDefaults()
+	if batchSize <= 0 {
+		batchSize = 12
+	}
+	var rows []AblationOrderRow
+	for _, mode := range []struct {
+		name string
+		mode core.Mode
+	}{
+		{name: "intensity-asc", mode: core.BatchMode},
+		{name: "fifo", mode: core.FIFOMode},
+	} {
+		var jcts []float64
+		for b := 0; b < o.Reps; b++ {
+			seed := o.Seed + int64(b)*2657
+			jobs, err := w.Batch(batchSize, seed)
+			if err != nil {
+				return nil, err
+			}
+			ct, err := core.NewController(core.Config{
+				Cloud: o.cloudFor(),
+				Model: o.model(),
+				Mode:  mode.mode,
+				Seed:  seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			results, err := ct.Run(jobs)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range results {
+				if !r.Failed {
+					jcts = append(jcts, r.JCT)
+				}
+			}
+		}
+		rows = append(rows, AblationOrderRow{
+			Order:   mode.name,
+			MeanJCT: stats.Mean(jcts),
+			P90JCT:  stats.Percentile(jcts, 0.9),
+		})
+	}
+	return rows, nil
+}
+
+// AblationMultipath compares single-path scheduling against
+// congestion-aware k-path routing on a sparse topology (where alternate
+// paths exist and the shortest one bottlenecks). Returns one series per
+// k with mean JCT on the given circuit.
+func AblationMultipath(o Options, circuitName string, ks []int) (SweepSeries, error) {
+	o = o.withDefaults()
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3}
+	}
+	// Sparser topology than the default, and a *scattered* (random)
+	// placement: CloudQC placement makes almost every remote gate
+	// single-hop, which leaves nothing for routing to improve. The
+	// ablation isolates the scheduler, so a placement with real
+	// multi-hop gates is the right stress.
+	topo := graph.Random(o.QPUs, 0.12, o.Seed)
+	cl := cloud.New(topo, o.Computing, o.Comm)
+	c, err := qlib.Build(circuitName)
+	if err != nil {
+		return SweepSeries{}, err
+	}
+	pl, err := place.NewRandom(o.Seed).Place(cl, c)
+	if err != nil {
+		return SweepSeries{}, err
+	}
+	dag := sched.BuildRemoteDAG(c, cl, pl.QubitToQPU, o.model().Latency)
+	s := SweepSeries{Method: "CloudQC"}
+	for _, k := range ks {
+		var jcts []float64
+		for rep := 0; rep < o.Reps; rep++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(rep)*7919))
+			res, err := sched.RunMultipath(dag, cl, o.model(), sched.CloudQCPolicy{}, rng, k)
+			if err != nil {
+				return SweepSeries{}, err
+			}
+			jcts = append(jcts, res.JCT)
+		}
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, stats.Mean(jcts))
+	}
+	return s, nil
+}
+
+// AblationFidelity sweeps the link fidelity and reports mean JCT with
+// purification enforced at the given end-to-end threshold, quantifying
+// what EPR quality buys (the paper's future-work extension).
+func AblationFidelity(o Options, circuitName string, fidelities []float64, threshold float64) (SweepSeries, error) {
+	o = o.withDefaults()
+	if len(fidelities) == 0 {
+		fidelities = []float64{0.8, 0.85, 0.9, 0.95, 0.99}
+	}
+	if threshold == 0 {
+		threshold = 0.9
+	}
+	// Scattered placement: multi-hop gates make the end-to-end fidelity
+	// decay that purification must repair (CloudQC placement keeps gates
+	// single-hop and the ablation would be a no-op at high fidelities).
+	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
+	cl := cloud.New(topo, o.Computing, o.Comm)
+	c, err := qlib.Build(circuitName)
+	if err != nil {
+		return SweepSeries{}, err
+	}
+	pl, err := place.NewRandom(o.Seed).Place(cl, c)
+	if err != nil {
+		return SweepSeries{}, err
+	}
+	dag := sched.BuildRemoteDAG(c, cl, pl.QubitToQPU, o.model().Latency)
+	s := SweepSeries{Method: "CloudQC"}
+	for _, lf := range fidelities {
+		fm := epr.FidelityModel{Model: o.model(), LinkFidelity: lf, Threshold: threshold}
+		var jcts []float64
+		for rep := 0; rep < o.Reps; rep++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(rep)*104729))
+			res, err := sched.RunFidelity(dag, cl, fm, sched.CloudQCPolicy{}, rng)
+			if err != nil {
+				return SweepSeries{}, fmt.Errorf("ablation fidelity %v: %w", lf, err)
+			}
+			jcts = append(jcts, res.JCT)
+		}
+		s.X = append(s.X, lf)
+		s.Y = append(s.Y, stats.Mean(jcts))
+	}
+	return s, nil
+}
+
+// IncomingRow summarizes the incoming-job (sequential arrival) mode at
+// one arrival rate.
+type IncomingRow struct {
+	MeanInterarrival float64
+	MeanJCT          float64
+	MeanWait         float64
+	PeakUtilization  float64
+}
+
+// IncomingMode evaluates the paper's sequential-arrival mode: jobs
+// arrive as a Poisson process and are placed FIFO; faster arrivals mean
+// more queueing and higher utilization.
+func IncomingMode(o Options, w workload.Workload, size int, interarrivals []float64) ([]IncomingRow, error) {
+	o = o.withDefaults()
+	if size <= 0 {
+		size = 10
+	}
+	if len(interarrivals) == 0 {
+		interarrivals = []float64{500, 2000, 8000}
+	}
+	var rows []IncomingRow
+	for _, ia := range interarrivals {
+		var jcts, waits []float64
+		peak := 0.0
+		for rep := 0; rep < o.Reps; rep++ {
+			seed := o.Seed + int64(rep)*6151
+			jobs, err := w.PoissonBatch(size, ia, seed)
+			if err != nil {
+				return nil, err
+			}
+			rec := metricsRecorder()
+			ct, err := core.NewController(core.Config{
+				Cloud:    o.cloudFor(),
+				Model:    o.model(),
+				Mode:     core.FIFOMode,
+				Seed:     seed,
+				Recorder: rec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			results, err := ct.Run(jobs)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range results {
+				if r.Failed {
+					continue
+				}
+				jcts = append(jcts, r.JCT)
+				waits = append(waits, r.WaitTime)
+			}
+			if p := rec.PeakUtilization(); p > peak {
+				peak = p
+			}
+		}
+		rows = append(rows, IncomingRow{
+			MeanInterarrival: ia,
+			MeanJCT:          stats.Mean(jcts),
+			MeanWait:         stats.Mean(waits),
+			PeakUtilization:  peak,
+		})
+	}
+	return rows, nil
+}
+
+// metricsRecorder returns the per-round recorder used by IncomingMode
+// (thinned to one sample per 100 time units to bound memory).
+func metricsRecorder() *metrics.Recorder { return metrics.NewRecorder(100) }
+
+// RenderIncoming renders incoming-mode rows.
+func RenderIncoming(rows []IncomingRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			stats.F(r.MeanInterarrival),
+			stats.F(r.MeanJCT),
+			stats.F(r.MeanWait),
+			fmt.Sprintf("%.2f", r.PeakUtilization),
+		})
+	}
+	return stats.Table([]string{"Interarrival", "MeanJCT", "MeanWait", "PeakUtil"}, out)
+}
+
+// RenderAblationOrder renders batch-order ablation rows.
+func RenderAblationOrder(rows []AblationOrderRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Order, stats.F(r.MeanJCT), stats.F(r.P90JCT)})
+	}
+	return stats.Table([]string{"Order", "MeanJCT", "P90JCT"}, out)
+}

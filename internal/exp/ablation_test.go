@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"cloudqc/internal/workload"
+)
+
+func TestAblationImbalance(t *testing.T) {
+	s, err := AblationImbalance(fastOpts(), "qugan_n71")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five single-α points plus the full-sweep sentinel.
+	if len(s.X) != 6 || s.X[len(s.X)-1] != -1 {
+		t.Fatalf("X = %v", s.X)
+	}
+	// The full sweep can never lose to the worst single α: it considers
+	// strictly more candidates under the same scoring.
+	full := s.Y[len(s.Y)-1]
+	worst := s.Y[0]
+	for _, y := range s.Y[:len(s.Y)-1] {
+		if y > worst {
+			worst = y
+		}
+	}
+	if full > worst {
+		t.Fatalf("full sweep cost %v worse than worst single α %v", full, worst)
+	}
+}
+
+func TestAblationBatchOrder(t *testing.T) {
+	o := fastOpts()
+	o.Reps = 2
+	rows, err := AblationBatchOrder(o, workload.Qugan(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanJCT <= 0 || r.P90JCT < r.MeanJCT*0.2 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	out := RenderAblationOrder(rows)
+	if !strings.Contains(out, "intensity-asc") || !strings.Contains(out, "fifo") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationMultipath(t *testing.T) {
+	o := fastOpts()
+	o.Reps = 2
+	s, err := AblationMultipath(o, "knn_n67", []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) != 2 {
+		t.Fatalf("X = %v", s.X)
+	}
+	for _, y := range s.Y {
+		if y <= 0 {
+			t.Fatalf("JCT = %v", y)
+		}
+	}
+}
+
+func TestAblationFidelity(t *testing.T) {
+	o := fastOpts()
+	o.Reps = 2
+	s, err := AblationFidelity(o, "knn_n67", []float64{0.8, 0.999}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Y) != 2 {
+		t.Fatalf("Y = %v", s.Y)
+	}
+	// At link fidelity 0.8 purification must fire (0.8 < 0.9 threshold
+	// even at one hop), costing strictly more time than at 0.999.
+	if s.Y[0] <= s.Y[1] {
+		t.Fatalf("JCT at fidelity 0.8 (%v) should exceed 0.999 (%v)", s.Y[0], s.Y[1])
+	}
+}
+
+func TestTeleportComparison(t *testing.T) {
+	o := fastOpts()
+	rows, err := TeleportComparison(o, []string{"adder_n64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Teleports == 0 || r.PlanNodes >= r.StaticNodes {
+		t.Fatalf("adder should migrate: %+v", r)
+	}
+	if r.PlanJCT >= r.StaticJCT {
+		t.Fatalf("adder teleportation should win: %+v", r)
+	}
+	out := RenderTeleport(rows)
+	if !strings.Contains(out, "Speedup") || !strings.Contains(out, "adder_n64") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestIncomingMode(t *testing.T) {
+	o := fastOpts()
+	o.Reps = 1
+	rows, err := IncomingMode(o, workload.Qugan(), 6, []float64{500, 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Slower arrivals mean less queueing: mean wait must not increase.
+	if rows[1].MeanWait > rows[0].MeanWait+1e-9 {
+		t.Fatalf("wait at interarrival 8000 (%v) exceeds 500 (%v)",
+			rows[1].MeanWait, rows[0].MeanWait)
+	}
+	out := RenderIncoming(rows)
+	if !strings.Contains(out, "Interarrival") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,124 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Sec. VI). Each experiment returns structured data plus a
+// renderer producing the aligned text tables that EXPERIMENTS.md and the
+// cloudqc CLI print.
+//
+// Defaults follow the paper: 20 QPUs, random topology with edge
+// probability 0.3, 20 computing and 5 communication qubits per QPU, EPR
+// success probability 0.3, Table I latencies.
+package exp
+
+import (
+	"fmt"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/stats"
+)
+
+// Options are the shared experiment knobs.
+type Options struct {
+	// QPUs is the cloud size (default 20).
+	QPUs int
+	// EdgeProb is the random-topology edge probability (default 0.3).
+	EdgeProb float64
+	// Computing and Comm are per-QPU qubit counts (defaults 20 and 5).
+	Computing, Comm int
+	// EPRProb is the per-attempt EPR success probability (default 0.3).
+	EPRProb float64
+	// Seed drives topology generation and simulation sampling.
+	Seed int64
+	// Reps averages stochastic simulations over this many runs
+	// (default 3).
+	Reps int
+}
+
+// Defaults returns the paper's evaluation setting.
+func Defaults() Options {
+	return Options{QPUs: 20, EdgeProb: 0.3, Computing: 20, Comm: 5, EPRProb: 0.3, Seed: 1, Reps: 3}
+}
+
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.QPUs == 0 {
+		o.QPUs = d.QPUs
+	}
+	if o.EdgeProb == 0 {
+		o.EdgeProb = d.EdgeProb
+	}
+	if o.Computing == 0 {
+		o.Computing = d.Computing
+	}
+	if o.Comm == 0 {
+		o.Comm = d.Comm
+	}
+	if o.EPRProb == 0 {
+		o.EPRProb = d.EPRProb
+	}
+	if o.Reps == 0 {
+		o.Reps = d.Reps
+	}
+	return o
+}
+
+// cloudFor builds the experiment cloud for these options.
+func (o Options) cloudFor() *cloud.Cloud {
+	return cloud.New(graph.Random(o.QPUs, o.EdgeProb, o.Seed), o.Computing, o.Comm)
+}
+
+// model returns the EPR model for these options.
+func (o Options) model() epr.Model {
+	m := epr.DefaultModel()
+	m.SuccessProb = o.EPRProb
+	return m
+}
+
+// TableI renders the operation latency table (paper Table I).
+func TableI() string {
+	l := epr.DefaultLatency()
+	rows := [][]string{
+		{"Single-qubit gates", fmt.Sprintf("%.1f CX", l.OneQubit)},
+		{"CX and CZ gates", fmt.Sprintf("%.0f CX", l.TwoQubit)},
+		{"Measure", fmt.Sprintf("%.0f CX", l.Measure)},
+		{"EPR preparation", fmt.Sprintf("%.0f CX", l.EPRAttempt)},
+	}
+	return stats.Table([]string{"Operation", "Latency"}, rows)
+}
+
+// SweepSeries is one method's line in a sweep figure: Y[i] is the metric
+// at X[i].
+type SweepSeries struct {
+	Method string
+	X, Y   []float64
+}
+
+// RenderSweep renders sweep series as a table: one row per X value, one
+// column per method.
+func RenderSweep(xLabel string, series []SweepSeries) string {
+	if len(series) == 0 {
+		return ""
+	}
+	headers := []string{xLabel}
+	for _, s := range series {
+		headers = append(headers, s.Method)
+	}
+	var rows [][]string
+	for i := range series[0].X {
+		row := []string{fmtX(series[0].X[i])}
+		for _, s := range series {
+			row = append(row, stats.F(s.Y[i]))
+		}
+		rows = append(rows, row)
+	}
+	return stats.Table(headers, rows)
+}
+
+// fmtX formats sweep x-values: probabilities (sub-1 values) keep two
+// decimals so 0.15 and 0.1 stay distinct.
+func fmtX(x float64) string {
+	if x != 0 && x < 1 {
+		return fmt.Sprintf("%.2f", x)
+	}
+	return stats.F(x)
+}

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"cloudqc/internal/workload"
+)
+
+// fastOpts keeps experiment unit tests quick while exercising the full
+// pipeline.
+func fastOpts() Options {
+	o := Defaults()
+	o.Reps = 1
+	return o
+}
+
+func TestTableIMentionsAllOps(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{"Single-qubit", "CX and CZ", "Measure", "EPR preparation", "10 CX"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TableI missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2CoversPaperRows(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 21 {
+		t.Fatalf("Table2 rows = %d, want 21", len(rows))
+	}
+	for _, r := range rows {
+		if r.GenTwoQubit <= 0 || r.GenDepth <= 0 {
+			t.Fatalf("row %s has degenerate generated stats: %+v", r.Name, r)
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "qft_n160") || !strings.Contains(out, "25440") {
+		t.Fatalf("render missing expected cells:\n%s", out)
+	}
+}
+
+func TestTable3SmallSubset(t *testing.T) {
+	rows, err := Table3(fastOpts(), []string{"ghz_n127", "ising_n66"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, m := range Table3Methods() {
+			if _, ok := r.Remote[m]; !ok {
+				t.Fatalf("row %s missing method %s", r.Circuit, m)
+			}
+		}
+		// Paper's headline: CloudQC beats Random on structured circuits.
+		if r.Remote["CloudQC"] > r.Remote["Random"] {
+			t.Errorf("%s: CloudQC %d worse than Random %d",
+				r.Circuit, r.Remote["CloudQC"], r.Remote["Random"])
+		}
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "ghz_n127") || !strings.Contains(out, "CloudQC-BFS") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestOverheadVsCapacitySkipsInfeasiblePoints(t *testing.T) {
+	// 10 qubits/QPU x 20 QPUs = 200 < 127? no, fits; use a capacity the
+	// circuit cannot fit to confirm skipping: qft_n160 at 10x20=200 fits
+	// too, so use a tiny sweep value via custom opts.
+	o := fastOpts()
+	series, err := OverheadVsCapacity(o, "ghz_n127", []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		for _, x := range s.X {
+			if x == 5 {
+				t.Fatalf("capacity 5 (cloud 100 < 127 qubits) should be skipped for %s", s.Method)
+			}
+		}
+		if len(s.X) != 1 {
+			t.Fatalf("series %s X = %v, want just capacity 20", s.Method, s.X)
+		}
+	}
+}
+
+func TestOverheadVsCapacityOrdering(t *testing.T) {
+	series, err := OverheadVsCapacity(fastOpts(), "qugan_n111", []int{20, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, s := range series {
+		byName[s.Method] = s.Y
+	}
+	if len(byName) != 5 {
+		t.Fatalf("methods = %v", byName)
+	}
+	// CloudQC should beat Random at every swept capacity (paper Fig. 6).
+	for i := range byName["CloudQC"] {
+		if byName["CloudQC"][i] > byName["Random"][i] {
+			t.Errorf("capacity idx %d: CloudQC %v worse than Random %v",
+				i, byName["CloudQC"][i], byName["Random"][i])
+		}
+	}
+}
+
+func TestJCTVsCommQubitsShape(t *testing.T) {
+	series, err := JCTVsCommQubits(fastOpts(), "qugan_n111", []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("policies = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 2 || len(s.Y) != 2 {
+			t.Fatalf("series %s: %v %v", s.Method, s.X, s.Y)
+		}
+		if s.Y[0] <= 0 {
+			t.Fatalf("series %s: non-positive JCT", s.Method)
+		}
+	}
+}
+
+func TestJCTVsEPRProbDecreases(t *testing.T) {
+	o := fastOpts()
+	o.Reps = 3
+	series, err := JCTVsEPRProb(o, "qugan_n111", []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.Y[1] >= s.Y[0] {
+			t.Errorf("%s: JCT at p=0.5 (%v) should beat p=0.1 (%v)", s.Method, s.Y[1], s.Y[0])
+		}
+	}
+}
+
+func TestFig22RelativeToCloudQC(t *testing.T) {
+	rows, err := Fig22(fastOpts(), []string{"vqe_uccsd_n28"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Relative["CloudQC"] != 1 {
+		t.Fatalf("CloudQC relative JCT = %v, want 1", r.Relative["CloudQC"])
+	}
+	for _, m := range []string{"Greedy", "Average", "Random"} {
+		if r.Relative[m] <= 0 {
+			t.Fatalf("%s relative JCT = %v", m, r.Relative[m])
+		}
+	}
+	out := RenderFig22(rows)
+	if !strings.Contains(out, "vqe_uccsd_n28") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestMultiTenantCDFSmall(t *testing.T) {
+	series, err := MultiTenantCDF(fastOpts(), workload.Qugan(), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("methods = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.JCTs) != 4 {
+			t.Fatalf("%s: jobs = %d, want 4", s.Method, len(s.JCTs))
+		}
+		if len(s.Points) == 0 || s.Points[len(s.Points)-1].P != 1 {
+			t.Fatalf("%s: malformed CDF %v", s.Method, s.Points)
+		}
+	}
+	out := RenderCDF(series)
+	for _, m := range MultiTenantMethods() {
+		if !strings.Contains(out, m) {
+			t.Fatalf("render missing %s:\n%s", m, out)
+		}
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	o := Defaults()
+	if o.QPUs != 20 || o.Computing != 20 || o.Comm != 5 || o.EdgeProb != 0.3 || o.EPRProb != 0.3 {
+		t.Fatalf("Defaults = %+v, want the paper's Sec. VI-A setting", o)
+	}
+}
+
+func TestWithDefaultsFillsZeroFields(t *testing.T) {
+	o := Options{Seed: 9}.withDefaults()
+	if o.QPUs != 20 || o.Reps != 3 || o.Seed != 9 {
+		t.Fatalf("withDefaults = %+v", o)
+	}
+}
+
+func TestRenderSweepLayout(t *testing.T) {
+	s := []SweepSeries{
+		{Method: "A", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Method: "B", X: []float64{1, 2}, Y: []float64{30, 40}},
+	}
+	out := RenderSweep("x", s)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "40") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if RenderSweep("x", nil) != "" {
+		t.Fatal("empty series should render empty")
+	}
+}

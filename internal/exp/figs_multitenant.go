@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/place"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+// MultiTenantMethods lists the three framework variants of Figs. 14-17.
+func MultiTenantMethods() []string {
+	return []string{"CloudQC", "CloudQC-BFS", "CloudQC-FIFO"}
+}
+
+// CDFSeries is one method's job-completion-time CDF.
+type CDFSeries struct {
+	Method string
+	Points []stats.CDFPoint
+	// JCTs are the raw per-job completion times the CDF summarizes.
+	JCTs []float64
+}
+
+// MultiTenantCDF regenerates one of Figs. 14-17: the job completion time
+// CDF of CloudQC vs CloudQC-BFS vs CloudQC-FIFO over seeded batches of
+// the given workload. batches × batchSize jobs execute per method
+// (paper: 50 batches × 20 circuits × 20 topologies; defaults here are
+// scaled down but configurable).
+func MultiTenantCDF(o Options, w workload.Workload, batches, batchSize int) ([]CDFSeries, error) {
+	o = o.withDefaults()
+	if batches <= 0 {
+		batches = 5
+	}
+	if batchSize <= 0 {
+		batchSize = 20
+	}
+	var out []CDFSeries
+	for _, method := range MultiTenantMethods() {
+		var jcts []float64
+		for b := 0; b < batches; b++ {
+			seed := o.Seed + int64(b)*104729
+			jobs, err := w.Batch(batchSize, seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := methodConfig(method, o, seed)
+			if err != nil {
+				return nil, err
+			}
+			ct, err := core.NewController(cfg)
+			if err != nil {
+				return nil, err
+			}
+			results, err := ct.Run(jobs)
+			if err != nil {
+				return nil, fmt.Errorf("multitenant %s batch %d: %w", method, b, err)
+			}
+			for _, r := range results {
+				if r.Failed {
+					continue
+				}
+				jcts = append(jcts, r.JCT)
+			}
+		}
+		out = append(out, CDFSeries{Method: method, Points: stats.ECDF(jcts), JCTs: jcts})
+	}
+	return out, nil
+}
+
+func methodConfig(method string, o Options, seed int64) (core.Config, error) {
+	pCfg := place.DefaultConfig()
+	pCfg.Seed = seed
+	cfg := core.Config{
+		Cloud:  o.cloudFor(),
+		Policy: sched.CloudQCPolicy{},
+		Model:  o.model(),
+		Mode:   core.BatchMode,
+		Seed:   seed,
+	}
+	switch method {
+	case "CloudQC":
+		cfg.Placer = place.NewCloudQC(pCfg)
+	case "CloudQC-BFS":
+		pCfg.UseBFS = true
+		cfg.Placer = place.NewCloudQC(pCfg)
+	case "CloudQC-FIFO":
+		cfg.Placer = place.NewCloudQC(pCfg)
+		cfg.Mode = core.FIFOMode
+	default:
+		return core.Config{}, fmt.Errorf("exp: unknown multi-tenant method %q", method)
+	}
+	return cfg, nil
+}
+
+// RenderCDF renders CDF series as mean / median / p90 summary rows plus
+// selected CDF probes, which is how EXPERIMENTS.md reports Figs. 14-17.
+func RenderCDF(series []CDFSeries) string {
+	headers := []string{"Method", "Jobs", "MeanJCT", "MedianJCT", "P90JCT", "MaxJCT"}
+	var rows [][]string
+	for _, s := range series {
+		rows = append(rows, []string{
+			s.Method,
+			fmt.Sprintf("%d", len(s.JCTs)),
+			stats.F(stats.Mean(s.JCTs)),
+			stats.F(stats.Median(s.JCTs)),
+			stats.F(stats.Percentile(s.JCTs, 0.9)),
+			stats.F(stats.Max(s.JCTs)),
+		})
+	}
+	return stats.Table(headers, rows)
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/place"
+	"cloudqc/internal/qlib"
+)
+
+// CapacitySweep is the paper's x-axis for Figs. 6-9: computing qubits
+// per QPU.
+func CapacitySweep() []int { return []int{10, 15, 20, 25, 30, 35, 40, 45, 50} }
+
+// OverheadCircuits lists the representative circuits of Figs. 6-9 in
+// figure order.
+func OverheadCircuits() []string {
+	return []string{"qugan_n111", "qft_n160", "multiplier_n75", "qv_n100"}
+}
+
+// OverheadVsCapacity regenerates one of Figs. 6-9: communication
+// overhead (Σ D_ij·C_ij) of every placement method as the per-QPU
+// computing qubit count varies.
+func OverheadVsCapacity(o Options, circuitName string, capacities []int) ([]SweepSeries, error) {
+	o = o.withDefaults()
+	if len(capacities) == 0 {
+		capacities = CapacitySweep()
+	}
+	c, err := qlib.Build(circuitName)
+	if err != nil {
+		return nil, err
+	}
+	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
+	series := make([]SweepSeries, 0, 5)
+	for _, p := range placersFor(o) {
+		s := SweepSeries{Method: p.Name()}
+		for _, cap := range capacities {
+			if cap*o.QPUs < c.NumQubits() {
+				continue // circuit cannot fit this cloud at all
+			}
+			cl := cloud.New(topo, cap, o.Comm)
+			pl, err := p.Place(cl, c)
+			if err != nil {
+				return nil, fmt.Errorf("overhead sweep: %s at capacity %d: %w", p.Name(), cap, err)
+			}
+			s.X = append(s.X, float64(cap))
+			s.Y = append(s.Y, place.CommCost(c, cl, pl.QubitToQPU))
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}

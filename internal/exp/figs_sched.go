@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/place"
+	"cloudqc/internal/qlib"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/stats"
+)
+
+// SchedPolicies returns the four allocation policies of the scheduling
+// evaluation in the paper's legend order.
+func SchedPolicies() []sched.Policy {
+	return []sched.Policy{
+		sched.GreedyPolicy{},
+		sched.AveragePolicy{},
+		sched.RandomPolicy{},
+		sched.CloudQCPolicy{},
+	}
+}
+
+// CommQubitSweep is the x-axis of Figs. 10-13.
+func CommQubitSweep() []int { return []int{5, 6, 7, 8, 9, 10} }
+
+// EPRProbSweep is the x-axis of Figs. 18-21.
+func EPRProbSweep() []float64 { return []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5} }
+
+// SchedCircuits lists the representative circuits of Figs. 10-13 and
+// 18-21 in figure order.
+func SchedCircuits() []string {
+	return []string{"qugan_n111", "qft_n160", "multiplier_n75", "qv_n100"}
+}
+
+// schedFixture places a circuit once (with CloudQC placement) so every
+// policy schedules the identical remote DAG.
+type schedFixture struct {
+	topo   *graph.Graph
+	circ   string
+	assign []int
+}
+
+func newSchedFixture(o Options, circuitName string) (*schedFixture, error) {
+	c, err := qlib.Build(circuitName)
+	if err != nil {
+		return nil, err
+	}
+	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
+	cl := cloud.New(topo, o.Computing, o.Comm)
+	cfg := place.DefaultConfig()
+	cfg.Seed = o.Seed
+	pl, err := place.NewCloudQC(cfg).Place(cl, c)
+	if err != nil {
+		return nil, fmt.Errorf("sched fixture: placing %s: %w", circuitName, err)
+	}
+	return &schedFixture{topo: topo, circ: circuitName, assign: pl.QubitToQPU}, nil
+}
+
+// meanJCT runs the fixture's remote DAG under one policy on a cloud with
+// the given comm qubits and EPR probability, averaged over o.Reps seeds.
+func (f *schedFixture) meanJCT(o Options, p sched.Policy, comm int, prob float64) (float64, error) {
+	c := qlib.MustBuild(f.circ)
+	cl := cloud.New(f.topo, o.Computing, comm)
+	m := epr.DefaultModel()
+	m.SuccessProb = prob
+	dag := sched.BuildRemoteDAG(c, cl, f.assign, m.Latency)
+	var jcts []float64
+	for rep := 0; rep < o.Reps; rep++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(rep)*7919))
+		res, err := sched.Run(dag, cl, m, p, rng)
+		if err != nil {
+			return 0, err
+		}
+		jcts = append(jcts, res.JCT)
+	}
+	return stats.Mean(jcts), nil
+}
+
+// JCTVsCommQubits regenerates one of Figs. 10-13: mean job completion
+// time per policy as communication qubits per QPU vary.
+func JCTVsCommQubits(o Options, circuitName string, comm []int) ([]SweepSeries, error) {
+	o = o.withDefaults()
+	if len(comm) == 0 {
+		comm = CommQubitSweep()
+	}
+	f, err := newSchedFixture(o, circuitName)
+	if err != nil {
+		return nil, err
+	}
+	var series []SweepSeries
+	for _, p := range SchedPolicies() {
+		s := SweepSeries{Method: p.Name()}
+		for _, cq := range comm {
+			jct, err := f.meanJCT(o, p, cq, o.EPRProb)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(cq))
+			s.Y = append(s.Y, jct)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// JCTVsEPRProb regenerates one of Figs. 18-21: mean job completion time
+// per policy as the EPR success probability varies.
+func JCTVsEPRProb(o Options, circuitName string, probs []float64) ([]SweepSeries, error) {
+	o = o.withDefaults()
+	if len(probs) == 0 {
+		probs = EPRProbSweep()
+	}
+	f, err := newSchedFixture(o, circuitName)
+	if err != nil {
+		return nil, err
+	}
+	var series []SweepSeries
+	for _, p := range SchedPolicies() {
+		s := SweepSeries{Method: p.Name()}
+		for _, prob := range probs {
+			jct, err := f.meanJCT(o, p, o.Comm, prob)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, prob)
+			s.Y = append(s.Y, jct)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// Fig22Circuits lists the benchmark set of Fig. 22 (network scheduling
+// at the default setting). The paper's "100.qasm" entry is interpreted
+// as qv_n100 and vqe_uccsd_n28 comes from the registry's VQE generator.
+func Fig22Circuits() []string {
+	return []string{
+		"knn_n129", "qugan_n111", "qft_n63", "qft_n160", "vqe_uccsd_n28",
+		"qv_n100", "adder_n64", "adder_n118", "multiplier_n45", "multiplier_n75",
+	}
+}
+
+// Fig22Row is one circuit's JCT per policy relative to CloudQC (CloudQC
+// = 1.0 by construction).
+type Fig22Row struct {
+	Circuit  string
+	Relative map[string]float64
+}
+
+// Fig22 regenerates the relative-JCT comparison of the four scheduling
+// policies at the default setting.
+func Fig22(o Options, circuits []string) ([]Fig22Row, error) {
+	o = o.withDefaults()
+	if len(circuits) == 0 {
+		circuits = Fig22Circuits()
+	}
+	var rows []Fig22Row
+	for _, name := range circuits {
+		f, err := newSchedFixture(o, name)
+		if err != nil {
+			return nil, err
+		}
+		abs := map[string]float64{}
+		for _, p := range SchedPolicies() {
+			jct, err := f.meanJCT(o, p, o.Comm, o.EPRProb)
+			if err != nil {
+				return nil, err
+			}
+			abs[p.Name()] = jct
+		}
+		base := abs["CloudQC"]
+		row := Fig22Row{Circuit: name, Relative: map[string]float64{}}
+		for m, v := range abs {
+			row.Relative[m] = v / base
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig22 renders Fig. 22 rows with policies in legend order.
+func RenderFig22(rows []Fig22Row) string {
+	headers := []string{"Circuit", "CloudQC", "Average", "Random", "Greedy"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Circuit,
+			fmt.Sprintf("%.2f", r.Relative["CloudQC"]),
+			fmt.Sprintf("%.2f", r.Relative["Average"]),
+			fmt.Sprintf("%.2f", r.Relative["Random"]),
+			fmt.Sprintf("%.2f", r.Relative["Greedy"]),
+		})
+	}
+	return stats.Table(headers, out)
+}

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/place"
+	"cloudqc/internal/qlib"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/stats"
+)
+
+// TeleportRow compares cat-entangler execution (every remote gate pays
+// its own EPR) against teleportation-enabled execution (bursty qubits
+// migrate) for one circuit.
+type TeleportRow struct {
+	Circuit     string
+	StaticNodes int
+	PlanNodes   int
+	Teleports   int
+	StaticJCT   float64
+	PlanJCT     float64
+}
+
+// TeleportCircuits is the default comparison set: two winners (QFT's
+// paired-CX phase blocks, the adder's MAJ/UMA ladders), one near-tie,
+// and the multiplier counterexample whose alternating Toffoli streams
+// make migrations ping-pong.
+func TeleportCircuits() []string {
+	return []string{"qft_n63", "adder_n64", "swap_test_n115", "multiplier_n45"}
+}
+
+// TeleportComparison evaluates the teleportation extension: same
+// CloudQC placement, same scheduler, two execution plans.
+func TeleportComparison(o Options, circuits []string) ([]TeleportRow, error) {
+	o = o.withDefaults()
+	if len(circuits) == 0 {
+		circuits = TeleportCircuits()
+	}
+	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
+	cl := cloud.New(topo, o.Computing, o.Comm)
+	cfg := place.DefaultConfig()
+	cfg.Seed = o.Seed
+	placer := place.NewCloudQC(cfg)
+	m := o.model()
+
+	meanJCT := func(d *sched.RemoteDAG) (float64, error) {
+		var jcts []float64
+		for rep := 0; rep < o.Reps; rep++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(rep)*7919))
+			res, err := sched.Run(d, cl, m, sched.CloudQCPolicy{}, rng)
+			if err != nil {
+				return 0, err
+			}
+			jcts = append(jcts, res.JCT)
+		}
+		return stats.Mean(jcts), nil
+	}
+
+	var rows []TeleportRow
+	for _, name := range circuits {
+		c, err := qlib.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := placer.Place(cl, c)
+		if err != nil {
+			return nil, fmt.Errorf("teleport comparison: placing %s: %w", name, err)
+		}
+		static := sched.BuildRemoteDAG(c, cl, pl.QubitToQPU, m.Latency)
+		plan, st := sched.BuildMigratingDAG(c, cl, pl.QubitToQPU, m.Latency, sched.PlanOptions{})
+		sJCT, err := meanJCT(static)
+		if err != nil {
+			return nil, err
+		}
+		pJCT, err := meanJCT(plan)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TeleportRow{
+			Circuit:     name,
+			StaticNodes: static.Len(),
+			PlanNodes:   plan.Len(),
+			Teleports:   st.Teleports,
+			StaticJCT:   sJCT,
+			PlanJCT:     pJCT,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTeleport renders teleport comparison rows.
+func RenderTeleport(rows []TeleportRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Circuit,
+			fmt.Sprintf("%d", r.StaticNodes),
+			fmt.Sprintf("%d", r.PlanNodes),
+			fmt.Sprintf("%d", r.Teleports),
+			stats.F(r.StaticJCT),
+			stats.F(r.PlanJCT),
+			fmt.Sprintf("%.2fx", r.StaticJCT/r.PlanJCT),
+		})
+	}
+	return stats.Table(
+		[]string{"Circuit", "RemoteGates", "PlanNodes", "Teleports", "CatJCT", "TeleJCT", "Speedup"},
+		out)
+}

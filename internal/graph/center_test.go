@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCenterPath(t *testing.T) {
+	// The center of a 5-path is vertex 2.
+	if c := Path(5).Center(); c != 2 {
+		t.Fatalf("Center(path5) = %d, want 2", c)
+	}
+}
+
+func TestCenterStar(t *testing.T) {
+	g := New(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	if c := g.Center(); c != 0 {
+		t.Fatalf("Center(star) = %d, want hub 0", c)
+	}
+}
+
+func TestCenterTieBreakByDegreeWeight(t *testing.T) {
+	// 4-cycle: all vertices have eccentricity 2. Boost vertex 3's weighted
+	// degree; it should win the tie.
+	g := Ring(4)
+	g.SetEdge(3, 0, 10)
+	if c := g.Center(); c != 3 && c != 0 {
+		t.Fatalf("Center = %d, want 0 or 3 (highest weighted degree)", c)
+	}
+}
+
+func TestCenterSingleton(t *testing.T) {
+	if c := New(1).Center(); c != 0 {
+		t.Fatalf("Center(singleton) = %d, want 0", c)
+	}
+}
+
+func TestCenterEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Center of empty graph should panic")
+		}
+	}()
+	New(0).Center()
+}
+
+func TestKClosestPath(t *testing.T) {
+	g := Path(6)
+	got := g.KClosest(0, 3)
+	want := []int{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("KClosest = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KClosest = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKClosestClampsToReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	got := g.KClosest(0, 10)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("KClosest = %v, want [1]", got)
+	}
+}
+
+// Property: the center's eccentricity is minimal among all vertices.
+func TestQuickCenterEccentricityMinimal(t *testing.T) {
+	ecc := func(g *Graph, v int) int {
+		m := 0
+		for _, d := range g.HopDistances(v) {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	f := func(seed int64) bool {
+		g := Random(10, 0.3, seed)
+		c := g.Center()
+		ce := ecc(g, c)
+		for v := 0; v < g.N(); v++ {
+			if ecc(g, v) < ce {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package graph provides the weighted undirected graphs used throughout
+// CloudQC: circuit interaction graphs, QPU topologies, and the contracted
+// partition graphs exchanged between the placement stages.
+//
+// Vertices are dense integers in [0, N). Edge weights are float64 and
+// symmetric. The zero value of Graph is not usable; construct with New.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted undirected graph over vertices 0..N-1.
+// Parallel edges are merged by summing weights. Self-loops are rejected.
+type Graph struct {
+	n   int
+	adj []map[int]float64
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	g := &Graph{n: n, adj: make([]map[int]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds weight w to the edge {u, v}, creating it if absent.
+// Adding a self-loop or an out-of-range endpoint panics: both indicate a
+// programming error in the caller, not a recoverable condition.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	g.adj[u][v] += w
+	g.adj[v][u] += w
+}
+
+// SetEdge sets the weight of edge {u, v}, overwriting any previous weight.
+// A weight of 0 removes the edge.
+func (g *Graph) SetEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	if w == 0 {
+		delete(g.adj[u], v)
+		delete(g.adj[v], u)
+		return
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+}
+
+// Weight returns the weight of edge {u, v}, or 0 if the edge is absent.
+func (g *Graph) Weight(u, v int) float64 {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// HasEdge reports whether the edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// WeightedDegree returns the sum of edge weights incident to u.
+func (g *Graph) WeightedDegree(u int) float64 {
+	g.check(u)
+	var s float64
+	for _, w := range g.adj[u] {
+		s += w
+	}
+	return s
+}
+
+// Neighbors returns the neighbors of u in ascending order. The returned
+// slice is freshly allocated; callers may modify it.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	ns := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		ns = append(ns, v)
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// Edge is one undirected edge with U < V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Edges returns all edges sorted by (U, V). Each undirected edge appears
+// exactly once with U < V.
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if u < v {
+				es = append(es, Edge{U: u, V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// NumEdges returns the number of distinct undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += len(g.adj[u])
+	}
+	return total / 2
+}
+
+// TotalWeight returns the sum of all edge weights (each edge counted once).
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if u < v {
+				s += w
+			}
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			c.adj[u][v] = w
+		}
+	}
+	return c
+}
+
+// Subgraph returns the induced subgraph on the given vertices along with
+// the mapping from new vertex index to original vertex. Duplicate vertices
+// in the input are ignored.
+func (g *Graph) Subgraph(vertices []int) (*Graph, []int) {
+	seen := make(map[int]bool, len(vertices))
+	var keep []int
+	for _, v := range vertices {
+		g.check(v)
+		if !seen[v] {
+			seen[v] = true
+			keep = append(keep, v)
+		}
+	}
+	sort.Ints(keep)
+	index := make(map[int]int, len(keep))
+	for i, v := range keep {
+		index[v] = i
+	}
+	sub := New(len(keep))
+	for i, v := range keep {
+		for nb, w := range g.adj[v] {
+			if j, ok := index[nb]; ok && j > i {
+				sub.AddEdge(i, j, w)
+			}
+		}
+	}
+	return sub, keep
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+	}
+}

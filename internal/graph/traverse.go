@@ -1,0 +1,136 @@
+package graph
+
+// BFSOrder returns the vertices reachable from start in breadth-first
+// order. Neighbors are visited in ascending index order, so the result is
+// deterministic.
+func (g *Graph) BFSOrder(start int) []int {
+	g.check(start)
+	visited := make([]bool, g.n)
+	order := make([]int, 0, g.n)
+	queue := []int{start}
+	visited[start] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// HopDistances returns the unweighted shortest-path distance (hop count)
+// from start to every vertex. Unreachable vertices get -1.
+func (g *Graph) HopDistances(start int) []int {
+	g.check(start)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsHops returns the hop-count distance matrix via one BFS per
+// vertex. Unreachable pairs are -1.
+func (g *Graph) AllPairsHops() [][]int {
+	d := make([][]int, g.n)
+	for u := 0; u < g.n; u++ {
+		d[u] = g.HopDistances(u)
+	}
+	return d
+}
+
+// ShortestPath returns one shortest path (by hops) from u to v inclusive,
+// or nil if v is unreachable from u. Ties break toward lower vertex
+// indices, so the result is deterministic.
+func (g *Graph) ShortestPath(u, v int) []int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return []int{u}
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == v {
+			break
+		}
+		for _, nb := range g.Neighbors(x) {
+			if prev[nb] < 0 {
+				prev[nb] = x
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if prev[v] < 0 {
+		return nil
+	}
+	var rev []int
+	for x := v; x != u; x = prev[x] {
+		rev = append(rev, x)
+	}
+	rev = append(rev, u)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Connected reports whether the graph is connected. The empty graph and
+// single-vertex graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return len(g.BFSOrder(0)) == g.n
+}
+
+// Components returns the connected components, each sorted ascending, in
+// order of their smallest vertex.
+func (g *Graph) Components() [][]int {
+	visited := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if visited[v] {
+			continue
+		}
+		comp := g.BFSOrder(v)
+		for _, u := range comp {
+			visited[u] = true
+		}
+		sorted := append([]int(nil), comp...)
+		insertionSort(sorted)
+		comps = append(comps, sorted)
+	}
+	return comps
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package metrics instruments multi-tenant runs: time series of cloud
+// utilization, active and queued jobs, sampled every scheduling round.
+// The paper's design objective 3 is "minimizing job completion time and
+// maximizing quantum resource utilization"; this package measures the
+// second half.
+package metrics
+
+// Sample is one instant of cluster state.
+type Sample struct {
+	// Time is the simulation clock in CX units.
+	Time float64
+	// Utilization is the fraction of computing qubits reserved, [0, 1].
+	Utilization float64
+	// Active is the number of jobs currently executing.
+	Active int
+	// Queued is the number of jobs waiting for placement.
+	Queued int
+}
+
+// Recorder accumulates samples. The zero value records every call;
+// construct with NewRecorder to thin samples to a minimum spacing.
+type Recorder struct {
+	every   float64
+	last    float64
+	started bool
+	samples []Sample
+}
+
+// NewRecorder returns a recorder keeping at most one sample per `every`
+// time units (0 keeps everything).
+func NewRecorder(every float64) *Recorder {
+	return &Recorder{every: every}
+}
+
+// Record appends a sample unless it is closer than `every` to the
+// previous one.
+func (r *Recorder) Record(s Sample) {
+	if r.started && r.every > 0 && s.Time-r.last < r.every {
+		return
+	}
+	r.samples = append(r.samples, s)
+	r.last = s.Time
+	r.started = true
+}
+
+// Samples returns the recorded series in time order.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// PeakUtilization returns the highest recorded utilization (0 when
+// empty).
+func (r *Recorder) PeakUtilization() float64 {
+	peak := 0.0
+	for _, s := range r.samples {
+		if s.Utilization > peak {
+			peak = s.Utilization
+		}
+	}
+	return peak
+}
+
+// MeanUtilization returns the time-weighted mean utilization across the
+// recorded horizon (0 when fewer than two samples exist).
+func (r *Recorder) MeanUtilization() float64 {
+	if len(r.samples) < 2 {
+		return 0
+	}
+	var area, span float64
+	for i := 1; i < len(r.samples); i++ {
+		dt := r.samples[i].Time - r.samples[i-1].Time
+		area += r.samples[i-1].Utilization * dt
+		span += dt
+	}
+	if span == 0 {
+		return 0
+	}
+	return area / span
+}
+
+// MaxQueued returns the longest observed queue.
+func (r *Recorder) MaxQueued() int {
+	m := 0
+	for _, s := range r.samples {
+		if s.Queued > m {
+			m = s.Queued
+		}
+	}
+	return m
+}

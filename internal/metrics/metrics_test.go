@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordKeepsAll(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 5; i++ {
+		r.Record(Sample{Time: float64(i), Utilization: 0.1 * float64(i)})
+	}
+	if len(r.Samples()) != 5 {
+		t.Fatalf("samples = %d", len(r.Samples()))
+	}
+}
+
+func TestRecordThinning(t *testing.T) {
+	r := NewRecorder(10)
+	for i := 0; i < 100; i++ {
+		r.Record(Sample{Time: float64(i)})
+	}
+	// Samples at 0, 10, 20, ..., 90.
+	if got := len(r.Samples()); got != 10 {
+		t.Fatalf("thinned samples = %d, want 10", got)
+	}
+}
+
+func TestPeakUtilization(t *testing.T) {
+	r := NewRecorder(0)
+	for _, u := range []float64{0.2, 0.9, 0.4} {
+		r.Record(Sample{Utilization: u})
+	}
+	if p := r.PeakUtilization(); p != 0.9 {
+		t.Fatalf("peak = %v", p)
+	}
+	if NewRecorder(0).PeakUtilization() != 0 {
+		t.Fatal("empty peak should be 0")
+	}
+}
+
+func TestMeanUtilizationTimeWeighted(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Sample{Time: 0, Utilization: 1})
+	r.Record(Sample{Time: 10, Utilization: 0}) // 1.0 held for 10 units
+	r.Record(Sample{Time: 30, Utilization: 0}) // 0.0 held for 20 units
+	want := (1.0*10 + 0.0*20) / 30
+	if m := r.MeanUtilization(); math.Abs(m-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", m, want)
+	}
+}
+
+func TestMeanUtilizationDegenerate(t *testing.T) {
+	r := NewRecorder(0)
+	if r.MeanUtilization() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	r.Record(Sample{Time: 5, Utilization: 1})
+	if r.MeanUtilization() != 0 {
+		t.Fatal("single-sample mean should be 0")
+	}
+	r.Record(Sample{Time: 5, Utilization: 1}) // zero span
+	if r.MeanUtilization() != 0 {
+		t.Fatal("zero-span mean should be 0")
+	}
+}
+
+func TestMaxQueued(t *testing.T) {
+	r := NewRecorder(0)
+	for _, q := range []int{1, 7, 3} {
+		r.Record(Sample{Queued: q})
+	}
+	if r.MaxQueued() != 7 {
+		t.Fatalf("max queued = %d", r.MaxQueued())
+	}
+}

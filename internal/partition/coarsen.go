@@ -1,0 +1,132 @@
+package partition
+
+import (
+	"math/rand"
+
+	"cloudqc/internal/graph"
+)
+
+// neighbor is one adjacency entry in a level's cached adjacency lists.
+type neighbor struct {
+	v int
+	w float64
+}
+
+// level is one graph in the multilevel hierarchy. weights[v] counts the
+// original vertices collapsed into coarse vertex v; coarseMap[v] names
+// the coarse vertex that fine vertex v was merged into. adj caches the
+// sorted adjacency lists so the hot refinement loops never re-sort.
+type level struct {
+	g         *graph.Graph
+	weights   []int
+	coarseMap []int // set by coarsen on the *parent* level
+	adj       [][]neighbor
+}
+
+func newLevel(g *graph.Graph) *level {
+	w := make([]int, g.N())
+	for i := range w {
+		w[i] = 1
+	}
+	return &level{g: g, weights: w, adj: buildAdjacency(g)}
+}
+
+func buildAdjacency(g *graph.Graph) [][]neighbor {
+	adj := make([][]neighbor, g.N())
+	for _, e := range g.Edges() {
+		adj[e.U] = append(adj[e.U], neighbor{v: e.V, w: e.W})
+		adj[e.V] = append(adj[e.V], neighbor{v: e.U, w: e.W})
+	}
+	// Entries are ascending by construction: Edges is sorted by (U, V),
+	// so each vertex's list accumulates increasing partner ids.
+	return adj
+}
+
+// coarsen builds the next-coarser level via heavy-edge matching: visit
+// vertices in a seeded random order; match each unmatched vertex with
+// its heaviest-edge unmatched neighbor whose combined weight stays at or
+// under maxW. The weight cap keeps star-like graphs (one hub touching
+// everything, e.g. Bernstein–Vazirani interaction graphs) from
+// collapsing into a single coarse vertex larger than any part — such a
+// vertex could never be split again during uncoarsening. Returns nil
+// when matching cannot shrink the graph (e.g. no edges).
+func (l *level) coarsen(seed int64, maxW int) *level {
+	n := l.g.N()
+	rng := rand.New(rand.NewSource(seed + int64(n)))
+	order := rng.Perm(n)
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	matched := 0
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		best, bestW := -1, 0.0
+		for _, nb := range l.adj[u] {
+			if match[nb.v] >= 0 || l.weights[u]+l.weights[nb.v] > maxW {
+				continue
+			}
+			// Prefer heavier edges; among equals prefer lighter coarse
+			// vertices to keep weights balanced; then lower index.
+			if best < 0 || nb.w > bestW ||
+				(nb.w == bestW && l.weights[nb.v] < l.weights[best]) ||
+				(nb.w == bestW && l.weights[nb.v] == l.weights[best] && nb.v < best) {
+				best, bestW = nb.v, nb.w
+			}
+		}
+		if best >= 0 {
+			match[u], match[best] = best, u
+			matched++
+		} else {
+			match[u] = u // self-matched singleton
+		}
+	}
+	if matched == 0 {
+		return nil
+	}
+
+	// Number coarse vertices deterministically by smallest fine index.
+	l.coarseMap = make([]int, n)
+	for i := range l.coarseMap {
+		l.coarseMap[i] = -1
+	}
+	numCoarse := 0
+	for v := 0; v < n; v++ {
+		if l.coarseMap[v] >= 0 {
+			continue
+		}
+		l.coarseMap[v] = numCoarse
+		if match[v] != v {
+			l.coarseMap[match[v]] = numCoarse
+		}
+		numCoarse++
+	}
+
+	coarse := graph.New(numCoarse)
+	weights := make([]int, numCoarse)
+	for v := 0; v < n; v++ {
+		weights[l.coarseMap[v]] += l.weights[v]
+	}
+	for u := 0; u < n; u++ {
+		cu := l.coarseMap[u]
+		for _, nb := range l.adj[u] {
+			if u < nb.v {
+				if cv := l.coarseMap[nb.v]; cu != cv {
+					coarse.AddEdge(cu, cv, nb.w)
+				}
+			}
+		}
+	}
+	return &level{g: coarse, weights: weights, adj: buildAdjacency(coarse)}
+}
+
+// project lifts a coarse partition back to this level's vertices.
+func (l *level) project(coarseParts []int) []int {
+	parts := make([]int, l.g.N())
+	for v := range parts {
+		parts[v] = coarseParts[l.coarseMap[v]]
+	}
+	return parts
+}

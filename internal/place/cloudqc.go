@@ -1,0 +1,356 @@
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/community"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/partition"
+)
+
+// Config parameterizes the CloudQC placer. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// ImbalanceFactors is Algorithm 1's α sweep for the graph partitioner.
+	ImbalanceFactors []float64
+	// ScoreAlpha and ScoreBeta weight the placement score S = a/T + b/C.
+	ScoreAlpha, ScoreBeta float64
+	// Model supplies latencies for the runtime estimate.
+	Model epr.Model
+	// Seed drives partitioner tie-breaking.
+	Seed int64
+	// RemoteOpsEpsilon, when positive, rejects candidate placements where
+	// any QPU is endpoint of more than this many remote operations
+	// (Eq. 6's R(V_j) <= ε constraint). Zero disables the constraint.
+	RemoteOpsEpsilon int
+	// UseBFS selects the CloudQC-BFS variant: feasible QPU sets are grown
+	// by breadth-first search instead of community detection.
+	UseBFS bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		ImbalanceFactors: []float64{0.05, 0.1, 0.2, 0.35, 0.5},
+		ScoreAlpha:       1,
+		ScoreBeta:        1,
+		Model:            epr.DefaultModel(),
+		Seed:             1,
+	}
+}
+
+// CloudQC is the paper's placement algorithm (Algorithm 1): sweep
+// partition granularities and imbalance factors, map each candidate's
+// parts onto a feasible QPU set found by community detection
+// (Algorithm 2), score every candidate by estimated runtime and
+// communication cost, and keep the best.
+type CloudQC struct {
+	cfg Config
+}
+
+// NewCloudQC returns a CloudQC placer with the given configuration.
+func NewCloudQC(cfg Config) *CloudQC {
+	if len(cfg.ImbalanceFactors) == 0 {
+		cfg.ImbalanceFactors = DefaultConfig().ImbalanceFactors
+	}
+	if cfg.ScoreAlpha == 0 && cfg.ScoreBeta == 0 {
+		cfg.ScoreAlpha, cfg.ScoreBeta = 1, 1
+	}
+	if cfg.Model.EPRAttempt == 0 {
+		cfg.Model = epr.DefaultModel()
+	}
+	return &CloudQC{cfg: cfg}
+}
+
+// Name implements Placer.
+func (p *CloudQC) Name() string {
+	if p.cfg.UseBFS {
+		return "CloudQC-BFS"
+	}
+	return "CloudQC"
+}
+
+// Place implements Placer (Algorithm 1).
+func (p *CloudQC) Place(cl *cloud.Cloud, c *circuit.Circuit) (*Placement, error) {
+	size := c.NumQubits()
+	if size > cl.TotalFreeComputing() {
+		return nil, &ErrInfeasible{Circuit: c.Name, Need: size, Free: cl.TotalFreeComputing()}
+	}
+
+	// Fast path: the whole circuit fits one QPU. Best fit: the feasible
+	// QPU with the least leftover capacity, preserving large QPUs for
+	// large future jobs (design objective 2, "dynamics in quantum cloud").
+	if size <= cl.MaxFreeComputing() {
+		best, leftover := -1, 0
+		for i := 0; i < cl.NumQPUs(); i++ {
+			free := cl.FreeComputing(i)
+			if free < size {
+				continue
+			}
+			if best < 0 || free-size < leftover {
+				best, leftover = i, free-size
+			}
+		}
+		assign := make([]int, size)
+		for i := range assign {
+			assign[i] = best
+		}
+		return &Placement{Circuit: c, QubitToQPU: assign}, nil
+	}
+
+	ig := c.InteractionGraph()
+	igEdges := ig.Edges()
+	dag := circuit.BuildDAG(c)
+	kMin := minParts(size, cl)
+	kMax := feasibleQPUs(cl)
+	if kMax > size {
+		kMax = size
+	}
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMin > kMax {
+		return nil, &ErrInfeasible{Circuit: c.Name, Need: size, Free: cl.TotalFreeComputing()}
+	}
+
+	var best *Placement
+	bestScore := 0.0
+	for _, alpha := range p.cfg.ImbalanceFactors {
+		for k := kMin; k <= kMax; k++ {
+			res, err := partition.KWay(ig, k, alpha, p.cfg.Seed)
+			if err != nil {
+				continue
+			}
+			assign, err := p.mapParts(cl, ig, res)
+			if err != nil {
+				continue
+			}
+			if eps := p.cfg.RemoteOpsEpsilon; eps > 0 {
+				if exceedsRemoteEps(c, cl.NumQPUs(), assign, eps) {
+					continue
+				}
+			}
+			t := EstimateTime(dag, cl, p.cfg.Model, assign)
+			cost := commCostEdges(igEdges, cl, assign)
+			s := Score(p.cfg.ScoreAlpha, p.cfg.ScoreBeta, t, cost)
+			if best == nil || s > bestScore {
+				best = &Placement{Circuit: c, QubitToQPU: assign}
+				bestScore = s
+			}
+		}
+	}
+	if best == nil {
+		return nil, &ErrInfeasible{Circuit: c.Name, Need: size, Free: cl.TotalFreeComputing()}
+	}
+	return best, nil
+}
+
+// minParts is ⌈size / largest-free-QPU⌉: the fewest parts that could
+// possibly fit.
+func minParts(size int, cl *cloud.Cloud) int {
+	maxFree := cl.MaxFreeComputing()
+	if maxFree == 0 {
+		return size + 1 // forces infeasibility upstream
+	}
+	return (size + maxFree - 1) / maxFree
+}
+
+func feasibleQPUs(cl *cloud.Cloud) int {
+	n := 0
+	for i := 0; i < cl.NumQPUs(); i++ {
+		if cl.FreeComputing(i) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func exceedsRemoteEps(c *circuit.Circuit, numQPUs int, assign []int, eps int) bool {
+	for _, r := range RemoteOpsPerQPU(c, numQPUs, assign) {
+		if r > eps {
+			return true
+		}
+	}
+	return false
+}
+
+// mapParts is Algorithm 2: find a feasible QPU set (community detection
+// on the capacity-weighted cloud graph, or BFS for the -BFS variant),
+// map the partition interaction graph's center to the QPU set's center,
+// then expand outward by BFS, placing each part on the feasible QPU
+// closest to its already-placed heaviest neighbor.
+func (p *CloudQC) mapParts(cl *cloud.Cloud, ig *graph.Graph, res *partition.Result) ([]int, error) {
+	k := res.K
+	// Part interaction graph: how strongly parts talk to each other.
+	pg := graph.New(k)
+	for _, e := range ig.Edges() {
+		if res.Parts[e.U] != res.Parts[e.V] {
+			pg.AddEdge(res.Parts[e.U], res.Parts[e.V], e.W)
+		}
+	}
+
+	candidates := p.qpuCandidates(cl, res)
+	free := cl.FreeSnapshot()
+	partQPU := make([]int, k)
+	for i := range partQPU {
+		partQPU[i] = -1
+	}
+	used := make([]bool, cl.NumQPUs())
+
+	// Center-to-center seed mapping.
+	cp := pg.Center()
+	order := pg.BFSOrder(cp)
+	if len(order) < k {
+		// Disconnected part graph: append the remaining parts in index
+		// order so every part still gets mapped.
+		inOrder := make([]bool, k)
+		for _, pt := range order {
+			inOrder[pt] = true
+		}
+		for pt := 0; pt < k; pt++ {
+			if !inOrder[pt] {
+				order = append(order, pt)
+			}
+		}
+	}
+
+	for _, part := range order {
+		anchor := p.anchorFor(cl, pg, partQPU, part, candidates)
+		qpu := pickQPU(cl, candidates, used, free, res.Sizes[part], anchor)
+		if qpu < 0 {
+			// Community too small: retry against the whole cloud.
+			qpu = pickQPU(cl, allQPUs(cl), used, free, res.Sizes[part], anchor)
+		}
+		if qpu < 0 {
+			return nil, fmt.Errorf("place: no QPU fits part %d (size %d)", part, res.Sizes[part])
+		}
+		partQPU[part] = qpu
+		used[qpu] = true
+		free[qpu] -= res.Sizes[part]
+	}
+
+	assign := make([]int, len(res.Parts))
+	for qb, pt := range res.Parts {
+		assign[qb] = partQPU[pt]
+	}
+	return assign, nil
+}
+
+// qpuCandidates returns the QPU set Algorithm 2 maps into: the best
+// community (enough capacity, dense, capacity-weighted) or the BFS-grown
+// set for the -BFS variant. The set is ordered for deterministic
+// iteration.
+func (p *CloudQC) qpuCandidates(cl *cloud.Cloud, res *partition.Result) []int {
+	size := 0
+	for _, s := range res.Sizes {
+		size += s
+	}
+	if p.cfg.UseBFS {
+		return bfsQPUSet(cl, size)
+	}
+	comms := community.Detect(cl.CapacityGraph())
+	type scored struct {
+		group []int
+		free  int
+	}
+	var best *scored
+	for _, g := range comms.Groups {
+		if len(g) < res.K {
+			continue
+		}
+		freeSum := 0
+		for _, q := range g {
+			freeSum += cl.FreeComputing(q)
+		}
+		if freeSum < size {
+			continue
+		}
+		// Prefer the tightest adequate community: it leaves the rest of
+		// the cloud contiguous for future jobs.
+		if best == nil || freeSum < best.free {
+			best = &scored{group: g, free: freeSum}
+		}
+	}
+	if best == nil {
+		return allQPUs(cl)
+	}
+	return best.group
+}
+
+// bfsQPUSet grows a QPU set by BFS from the freest QPU until the
+// collected free capacity covers the circuit.
+func bfsQPUSet(cl *cloud.Cloud, size int) []int {
+	seed := 0
+	for i := 1; i < cl.NumQPUs(); i++ {
+		if cl.FreeComputing(i) > cl.FreeComputing(seed) {
+			seed = i
+		}
+	}
+	var set []int
+	freeSum := 0
+	for _, q := range cl.Topology().BFSOrder(seed) {
+		if cl.FreeComputing(q) == 0 {
+			continue
+		}
+		set = append(set, q)
+		freeSum += cl.FreeComputing(q)
+		if freeSum >= size {
+			break
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+func allQPUs(cl *cloud.Cloud) []int {
+	out := make([]int, cl.NumQPUs())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// anchorFor returns the QPU the part wants to sit near: the QPU of its
+// heaviest already-placed neighbor part, or the candidate set's center
+// for the first part.
+func (p *CloudQC) anchorFor(cl *cloud.Cloud, pg *graph.Graph, partQPU []int, part int, candidates []int) int {
+	bestQPU, bestW := -1, 0.0
+	for _, nb := range pg.Neighbors(part) {
+		if partQPU[nb] < 0 {
+			continue
+		}
+		if w := pg.Weight(part, nb); w > bestW {
+			bestQPU, bestW = partQPU[nb], w
+		}
+	}
+	if bestQPU >= 0 {
+		return bestQPU
+	}
+	sub, verts := cl.Topology().Subgraph(candidates)
+	return verts[sub.Center()]
+}
+
+// pickQPU selects the unused candidate QPU with enough free capacity
+// closest to anchor, breaking ties toward more free capacity then lower
+// id.
+func pickQPU(cl *cloud.Cloud, candidates []int, used []bool, free []int, need, anchor int) int {
+	best, bestD, bestFree := -1, 0, 0
+	for _, q := range candidates {
+		if used[q] || free[q] < need {
+			continue
+		}
+		d := cl.Distance(anchor, q)
+		if d < 0 {
+			continue
+		}
+		if best < 0 || d < bestD || (d == bestD && free[q] > bestFree) {
+			best, bestD, bestFree = q, d, free[q]
+		}
+	}
+	return best
+}

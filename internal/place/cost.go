@@ -1,0 +1,90 @@
+package place
+
+import (
+	"math"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+)
+
+// CommCost returns the paper's communication cost for a qubit assignment:
+// Σ over qubit pairs of D_ij · C_π(i)π(j), where D is the interaction
+// weight and C the hop distance between the hosting QPUs.
+func CommCost(c *circuit.Circuit, cl *cloud.Cloud, qubitToQPU []int) float64 {
+	return commCostEdges(c.InteractionGraph().Edges(), cl, qubitToQPU)
+}
+
+// commCostEdges is CommCost over a precomputed interaction edge list, so
+// sweep loops don't rebuild the interaction graph per candidate.
+func commCostEdges(edges []graph.Edge, cl *cloud.Cloud, qubitToQPU []int) float64 {
+	var cost float64
+	for _, e := range edges {
+		cost += e.W * float64(cl.Distance(qubitToQPU[e.U], qubitToQPU[e.V]))
+	}
+	return cost
+}
+
+// RemoteOps returns the number of two-qubit gates whose qubits land on
+// different QPUs — the Table III metric.
+func RemoteOps(c *circuit.Circuit, qubitToQPU []int) int {
+	n := 0
+	for _, g := range c.Gates() {
+		if g.Kind == circuit.Two && qubitToQPU[g.Qubits[0]] != qubitToQPU[g.Qubits[1]] {
+			n++
+		}
+	}
+	return n
+}
+
+// EstimateTime returns the DAG critical-path runtime of the circuit under
+// the placement: local gates cost their Table I latency; remote two-qubit
+// gates cost the expected EPR + swap + execution latency for their hop
+// distance. This is Algorithm 1's estimate_time — it deliberately ignores
+// communication-qubit contention, which the network scheduler handles.
+func EstimateTime(dag *circuit.DAG, cl *cloud.Cloud, m epr.Model, qubitToQPU []int) float64 {
+	gates := dag.Circuit().Gates()
+	total, _ := dag.CriticalPath(func(i int) float64 {
+		g := gates[i]
+		if g.Kind == circuit.Two {
+			a, b := qubitToQPU[g.Qubits[0]], qubitToQPU[g.Qubits[1]]
+			if a != b {
+				return m.ExpectedRemoteLatency(cl.Distance(a, b))
+			}
+		}
+		return m.GateDuration(g.Kind)
+	})
+	return total
+}
+
+// Score combines estimated runtime T and communication cost C into the
+// paper's placement score S = a/T + b/C; higher is better. Zero C (a
+// fully local placement) scores as if C were 0.5, keeping the score
+// finite while still dominating any placement with real communication.
+func Score(a, b, t, c float64) float64 {
+	if t <= 0 {
+		t = math.SmallestNonzeroFloat64
+	}
+	if c <= 0 {
+		c = 0.5
+	}
+	return a/t + b/c
+}
+
+// RemoteOpsPerQPU returns R(V_j) for every QPU: the number of remote
+// operations with one endpoint on that QPU (Eq. 7 of the paper).
+func RemoteOpsPerQPU(c *circuit.Circuit, numQPUs int, qubitToQPU []int) []int {
+	r := make([]int, numQPUs)
+	for _, g := range c.Gates() {
+		if g.Kind != circuit.Two {
+			continue
+		}
+		a, b := qubitToQPU[g.Qubits[0]], qubitToQPU[g.Qubits[1]]
+		if a != b {
+			r[a]++
+			r[b]++
+		}
+	}
+	return r
+}

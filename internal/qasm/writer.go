@@ -1,0 +1,44 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudqc/internal/circuit"
+)
+
+// Write renders a circuit as OpenQASM 2.0 source. Measures are emitted as
+// "measure q[i] -> c[i]". Parameterized gates print their parameter with
+// enough precision to round-trip through Parse.
+func Write(c *circuit.Circuit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\ncreg c[%d];\n", c.NumQubits(), c.NumQubits())
+	for _, g := range c.Gates() {
+		switch g.Kind {
+		case circuit.Measure:
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Qubits[0])
+		case circuit.Two:
+			if parameterized(g.Name) {
+				fmt.Fprintf(&b, "%s(%.17g) q[%d],q[%d];\n", g.Name, g.Param, g.Qubits[0], g.Qubits[1])
+			} else {
+				fmt.Fprintf(&b, "%s q[%d],q[%d];\n", g.Name, g.Qubits[0], g.Qubits[1])
+			}
+		default:
+			if parameterized(g.Name) {
+				fmt.Fprintf(&b, "%s(%.17g) q[%d];\n", g.Name, g.Param, g.Qubits[0])
+			} else {
+				fmt.Fprintf(&b, "%s q[%d];\n", g.Name, g.Qubits[0])
+			}
+		}
+	}
+	return b.String()
+}
+
+func parameterized(name string) bool {
+	switch name {
+	case "rx", "ry", "rz", "cp", "cu1", "crz", "rzz", "u1", "p":
+		return true
+	}
+	return false
+}

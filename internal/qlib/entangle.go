@@ -1,0 +1,94 @@
+package qlib
+
+import (
+	"fmt"
+
+	"cloudqc/internal/circuit"
+)
+
+func init() {
+	register("ghz_n127", func() *circuit.Circuit { return GHZ(127) })
+	register("cat_n65", func() *circuit.Circuit { return Cat(65) })
+	register("cat_n130", func() *circuit.Circuit { return Cat(130) })
+	register("bv_n70", func() *circuit.Circuit { return BV(70, 36) })
+	register("bv_n140", func() *circuit.Circuit { return BV(140, 72) })
+	register("cc_n64", func() *circuit.Circuit { return CC(64) })
+}
+
+// GHZ builds the n-qubit GHZ state preparation: one Hadamard followed by
+// a CX chain, then full measurement. Two-qubit gates: n-1; depth: n+1.
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("ghz_n%d", n), n)
+	c.Append(circuit.H(0))
+	for i := 0; i+1 < n; i++ {
+		c.Append(circuit.CX(i, i+1))
+	}
+	c.MeasureAll()
+	return c
+}
+
+// Cat builds the n-qubit cat state circuit. Structurally identical to
+// GHZ — QASMBench ships both and Table II lists both, so we keep two
+// entries with distinct names.
+func Cat(n int) *circuit.Circuit {
+	c := GHZ(n)
+	c.Name = fmt.Sprintf("cat_n%d", n)
+	return c
+}
+
+// BV builds an n-qubit Bernstein–Vazirani circuit whose hidden string has
+// the given number of ones, spread evenly over the n-1 data qubits. The
+// last qubit is the phase-kickback ancilla. Two-qubit gates: ones;
+// depth: ones + 4 (X prep, H layer, serialized CX chain on the ancilla,
+// final H, measure).
+func BV(n, ones int) *circuit.Circuit {
+	if ones > n-1 {
+		panic(fmt.Sprintf("qlib: BV ones=%d exceeds data qubits %d", ones, n-1))
+	}
+	c := circuit.New(fmt.Sprintf("bv_n%d", n), n)
+	anc := n - 1
+	c.Append(circuit.X(anc))
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	// Evenly spaced secret bits: data qubit i has a 1 when i*ones advances
+	// past a multiple of n-1. Deterministic and spread over the register.
+	data := n - 1
+	for i := 0; i < data; i++ {
+		if (i*ones)/data != ((i+1)*ones)/data {
+			c.Append(circuit.CX(i, anc))
+		}
+	}
+	for q := 0; q < data; q++ {
+		c.Append(circuit.H(q))
+	}
+	for q := 0; q < data; q++ {
+		c.Append(circuit.M(q))
+	}
+	return c
+}
+
+// CC builds the n-qubit counterfeit-coin finding circuit: n-1 coin qubits
+// in superposition interact with one balance ancilla through a serialized
+// CX chain, plus the final reveal CX. Two-qubit gates: n.
+func CC(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("cc_n%d", n), n)
+	anc := n - 1
+	for q := 0; q < anc; q++ {
+		c.Append(circuit.H(q))
+	}
+	c.Append(circuit.X(anc), circuit.H(anc))
+	for q := 0; q < anc; q++ {
+		c.Append(circuit.CX(q, anc))
+	}
+	c.Append(circuit.H(anc), circuit.M(anc))
+	// Second round: re-weigh with the revealed parity.
+	for q := 0; q < anc; q++ {
+		c.Append(circuit.H(q))
+	}
+	c.Append(circuit.CX(0, anc))
+	for q := 0; q < anc; q++ {
+		c.Append(circuit.M(q))
+	}
+	return c
+}

@@ -1,0 +1,110 @@
+package qlib
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQAOAStructure(t *testing.T) {
+	c := QAOA(16, 2, 1)
+	if c.NumQubits() != 16 {
+		t.Fatalf("qubits = %d", c.NumQubits())
+	}
+	// Ring (16 edges) + 8 chords = 24 edges; 2 rounds x 2 CX per ZZ.
+	want := 2 * 2 * 24
+	if got := c.TwoQubitGateCount(); got != want {
+		t.Fatalf("2q = %d, want %d", got, want)
+	}
+	if !c.InteractionGraph().Connected() {
+		t.Fatal("QAOA problem graph should be connected (contains a ring)")
+	}
+}
+
+func TestQAOADeterministicPerSeed(t *testing.T) {
+	a, b := QAOA(16, 2, 5), QAOA(16, 2, 5)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed must give same circuit")
+	}
+	c := QAOA(16, 2, 6)
+	diff := a.Len() != c.Len()
+	if !diff {
+		for i := range a.Gates() {
+			if a.Gates()[i] != c.Gates()[i] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different problem graphs")
+	}
+}
+
+func TestQAOATooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QAOA(3) should panic")
+		}
+	}()
+	QAOA(3, 1, 1)
+}
+
+func TestWStateStructure(t *testing.T) {
+	c := WState(10)
+	if c.NumQubits() != 10 {
+		t.Fatalf("qubits = %d", c.NumQubits())
+	}
+	// Per cascade step: 3 CX. 9 steps.
+	if got := c.TwoQubitGateCount(); got != 27 {
+		t.Fatalf("2q = %d, want 27", got)
+	}
+}
+
+func TestWStateSplitAngles(t *testing.T) {
+	// First split of an n=4 W state keeps 1/4 of the probability:
+	// cos^2(theta/2) = 1/4.
+	theta := thetaForSplit(4)
+	keep := math.Cos(theta / 2)
+	if math.Abs(keep*keep-0.25) > 1e-12 {
+		t.Fatalf("cos^2(theta/2) = %v, want 0.25", keep*keep)
+	}
+}
+
+func TestWStateTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WState(1) should panic")
+		}
+	}()
+	WState(1)
+}
+
+func TestGroverStructure(t *testing.T) {
+	c := Grover(8) // m = 4 data qubits
+	if c.NumQubits() != 8 {
+		t.Fatalf("qubits = %d", c.NumQubits())
+	}
+	if c.TwoQubitGateCount() == 0 {
+		t.Fatal("Grover needs Toffoli ladders")
+	}
+	if !c.InteractionGraph().Connected() {
+		t.Fatal("Grover interaction graph should be connected")
+	}
+}
+
+func TestGroverOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd Grover should panic")
+		}
+	}()
+	Grover(7)
+}
+
+func TestNewFamiliesRegistered(t *testing.T) {
+	for _, name := range []string{"qaoa_n32", "qaoa_n64", "wstate_n36", "grover_n8"} {
+		if _, err := Build(name); err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+	}
+}

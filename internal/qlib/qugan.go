@@ -1,0 +1,57 @@
+package qlib
+
+import (
+	"fmt"
+	"math"
+
+	"cloudqc/internal/circuit"
+)
+
+func init() {
+	register("qugan_n39", func() *circuit.Circuit { return QuGAN(39) })
+	register("qugan_n71", func() *circuit.Circuit { return QuGAN(71) })
+	register("qugan_n111", func() *circuit.Circuit { return QuGAN(111) })
+}
+
+// QuGAN builds an n-qubit quantum GAN circuit (n = 2m+1): a generator
+// register (qubits 1..m) and a discriminator register (m+1..2m), each
+// with two hardware-efficient ansatz layers (RY rotations + brickwork CX
+// entanglers), two ancilla-coupling CX gates, and a swap test comparing
+// the two registers through ancilla 0.
+//
+// Two-qubit gates: 2 layers × 2 registers × (m-1) + 2 + 8m = 12m - 2,
+// matching Table II exactly (71 qubits -> 418, 111 qubits -> 658).
+func QuGAN(n int) *circuit.Circuit {
+	if n%2 == 0 {
+		panic(fmt.Sprintf("qlib: qugan needs odd qubit count, got %d", n))
+	}
+	m := (n - 1) / 2
+	c := circuit.New(fmt.Sprintf("qugan_n%d", n), n)
+	gen := func(i int) int { return 1 + i }
+	dis := func(i int) int { return 1 + m + i }
+	for layer := 0; layer < 2; layer++ {
+		theta := math.Pi / float64(3+layer)
+		for i := 0; i < m; i++ {
+			c.Append(circuit.RY(gen(i), theta))
+			c.Append(circuit.RY(dis(i), -theta))
+		}
+		for _, reg := range [](func(int) int){gen, dis} {
+			for i := 0; i+1 < m; i += 2 { // even brickwork
+				c.Append(circuit.CX(reg(i), reg(i+1)))
+			}
+			for i := 1; i+1 < m; i += 2 { // odd brickwork
+				c.Append(circuit.CX(reg(i), reg(i+1)))
+			}
+		}
+	}
+	// Couple the ancilla to both register heads before the overlap test.
+	c.Append(circuit.H(0))
+	c.Append(circuit.CX(0, gen(0)))
+	c.Append(circuit.CX(0, dis(0)))
+	for i := 0; i < m; i++ {
+		fredkin(c, 0, gen(i), dis(i))
+	}
+	c.Append(circuit.H(0))
+	c.Append(circuit.M(0))
+	return c
+}

@@ -1,0 +1,57 @@
+package qlib
+
+import (
+	"fmt"
+	"math"
+
+	"cloudqc/internal/circuit"
+)
+
+func init() {
+	register("swap_test_n115", func() *circuit.Circuit { return SwapTest(115) })
+	register("knn_n67", func() *circuit.Circuit { return KNN(67) })
+	register("knn_n129", func() *circuit.Circuit { return KNN(129) })
+}
+
+// SwapTest builds an n-qubit swap test (n = 2m+1): qubit 0 is the
+// ancilla; registers 1..m and m+1..2m are compared via m controlled
+// swaps, each decomposed into 8 two-qubit gates (2 CX + a 6-CX Toffoli).
+// Two-qubit gates: 8m — matching Table II exactly (115 qubits -> 456).
+func SwapTest(n int) *circuit.Circuit {
+	if n%2 == 0 {
+		panic(fmt.Sprintf("qlib: swap test needs odd qubit count, got %d", n))
+	}
+	m := (n - 1) / 2
+	c := circuit.New(fmt.Sprintf("swap_test_n%d", n), n)
+	c.Append(circuit.H(0))
+	for i := 0; i < m; i++ {
+		fredkin(c, 0, 1+i, 1+m+i)
+	}
+	c.Append(circuit.H(0))
+	c.Append(circuit.M(0))
+	return c
+}
+
+// KNN builds an n-qubit quantum k-nearest-neighbor kernel (n = 2m+1):
+// state preparation rotations load the query and reference vectors, then
+// a swap test estimates their overlap. Two-qubit gates: 8m — matching
+// Table II exactly (67 qubits -> 264, 129 qubits -> 512).
+func KNN(n int) *circuit.Circuit {
+	if n%2 == 0 {
+		panic(fmt.Sprintf("qlib: knn needs odd qubit count, got %d", n))
+	}
+	m := (n - 1) / 2
+	c := circuit.New(fmt.Sprintf("knn_n%d", n), n)
+	// Amplitude-encoding rotations for the two feature vectors.
+	for i := 0; i < m; i++ {
+		c.Append(circuit.RY(1+i, math.Pi*float64(i+1)/float64(m+1)))
+		c.Append(circuit.RY(1+m+i, math.Pi*float64(m-i)/float64(m+1)))
+	}
+	c.Append(circuit.H(0))
+	for i := 0; i < m; i++ {
+		fredkin(c, 0, 1+i, 1+m+i)
+	}
+	c.Append(circuit.H(0))
+	c.Append(circuit.M(0))
+	return c
+}

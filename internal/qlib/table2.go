@@ -1,0 +1,39 @@
+package qlib
+
+// PaperRow is one row of Table II as printed in the paper: the QASMBench
+// characteristics the authors report for each workload circuit.
+type PaperRow struct {
+	Name     string
+	Qubits   int
+	TwoQubit int
+	Depth    int
+}
+
+// Table2 lists the paper's Table II verbatim (with the evident ising_n66
+// qubit-count typo corrected from 34 to 66). The exp package compares
+// these against the characteristics of the generated circuits.
+func Table2() []PaperRow {
+	return []PaperRow{
+		{Name: "ghz_n127", Qubits: 127, TwoQubit: 126, Depth: 128},
+		{Name: "bv_n70", Qubits: 70, TwoQubit: 36, Depth: 40},
+		{Name: "bv_n140", Qubits: 140, TwoQubit: 72, Depth: 76},
+		{Name: "ising_n34", Qubits: 34, TwoQubit: 66, Depth: 16},
+		{Name: "ising_n66", Qubits: 66, TwoQubit: 130, Depth: 16},
+		{Name: "ising_n98", Qubits: 98, TwoQubit: 194, Depth: 16},
+		{Name: "cat_n65", Qubits: 65, TwoQubit: 64, Depth: 66},
+		{Name: "cat_n130", Qubits: 130, TwoQubit: 129, Depth: 131},
+		{Name: "swap_test_n115", Qubits: 115, TwoQubit: 456, Depth: 60},
+		{Name: "knn_n67", Qubits: 67, TwoQubit: 264, Depth: 36},
+		{Name: "knn_n129", Qubits: 129, TwoQubit: 512, Depth: 67},
+		{Name: "qugan_n71", Qubits: 71, TwoQubit: 418, Depth: 72},
+		{Name: "qugan_n111", Qubits: 111, TwoQubit: 658, Depth: 112},
+		{Name: "cc_n64", Qubits: 64, TwoQubit: 64, Depth: 195},
+		{Name: "adder_n64", Qubits: 64, TwoQubit: 455, Depth: 78},
+		{Name: "adder_n118", Qubits: 118, TwoQubit: 845, Depth: 132},
+		{Name: "multiplier_n45", Qubits: 45, TwoQubit: 2574, Depth: 462},
+		{Name: "multiplier_n75", Qubits: 75, TwoQubit: 7350, Depth: 1300},
+		{Name: "qft_n63", Qubits: 63, TwoQubit: 9828, Depth: 494},
+		{Name: "qft_n160", Qubits: 160, TwoQubit: 25440, Depth: 1270},
+		{Name: "qv_n100", Qubits: 100, TwoQubit: 15000, Depth: 701},
+	}
+}

@@ -1,0 +1,60 @@
+package qlib
+
+import (
+	"fmt"
+	"math"
+
+	"cloudqc/internal/circuit"
+)
+
+func init() {
+	register("vqe_uccsd_n28", func() *circuit.Circuit { return VQEUCCSD(28) })
+	register("vqe_uccsd_n24", func() *circuit.Circuit { return VQEUCCSD(24) })
+}
+
+// VQEUCCSD builds an n-qubit VQE circuit with a UCCSD-style ansatz:
+// Hartree–Fock preparation (X on the first n/2 qubits), a Hadamard basis
+// layer, then single- and double-excitation blocks realized as CX ladders
+// around an RZ rotation — the textbook Pauli-string exponentiation
+// pattern that dominates UCCSD circuits.
+func VQEUCCSD(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("vqe_uccsd_n%d", n), n)
+	occ := n / 2
+	for q := 0; q < occ; q++ {
+		c.Append(circuit.X(q))
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	ladder := func(qs []int, theta float64) {
+		for i := 0; i+1 < len(qs); i++ {
+			c.Append(circuit.CX(qs[i], qs[i+1]))
+		}
+		c.Append(circuit.RZ(qs[len(qs)-1], theta))
+		for i := len(qs) - 2; i >= 0; i-- {
+			c.Append(circuit.CX(qs[i], qs[i+1]))
+		}
+	}
+	// Single excitations: occupied i -> virtual occ+i. The CX ladder runs
+	// through every intermediate qubit — the Jordan–Wigner parity string —
+	// which is what makes UCCSD circuits interaction-dense.
+	for i := 0; i < occ; i++ {
+		qs := make([]int, 0, occ+1)
+		for q := i; q <= occ+i; q++ {
+			qs = append(qs, q)
+		}
+		ladder(qs, math.Pi/float64(4+i%3))
+	}
+	// Double excitations: (i, i+1) -> (a, a+1) for a sliding window.
+	for i := 0; i+1 < occ; i += 2 {
+		a := occ + i
+		if a+1 < n {
+			ladder([]int{i, i + 1, a, a + 1}, math.Pi/float64(5+i%4))
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	c.MeasureAll()
+	return c
+}

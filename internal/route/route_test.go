@@ -1,0 +1,179 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudqc/internal/graph"
+)
+
+func TestKShortestOnRing(t *testing.T) {
+	// A 6-ring has exactly two loopless paths between opposite nodes:
+	// lengths 3 and 3.
+	g := graph.Ring(6)
+	paths := KShortest(g, 0, 3, 4)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+	for _, p := range paths {
+		if len(p) != 4 {
+			t.Fatalf("ring path %v should have 4 nodes", p)
+		}
+		validatePath(t, g, p, 0, 3)
+	}
+	if samePath(paths[0], paths[1]) {
+		t.Fatal("duplicate paths returned")
+	}
+}
+
+func TestKShortestOrderedByLength(t *testing.T) {
+	// Diamond with a long detour: 0-1-3 (short), 0-2-3 (short),
+	// 0-4-5-3 (long).
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 3, 1)
+	paths := KShortest(g, 0, 3, 5)
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if len(paths[0]) != 3 || len(paths[1]) != 3 || len(paths[2]) != 4 {
+		t.Fatalf("path lengths wrong: %v", paths)
+	}
+}
+
+func TestKShortestUnreachable(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	if paths := KShortest(g, 0, 3, 2); paths != nil {
+		t.Fatalf("unreachable should be nil, got %v", paths)
+	}
+}
+
+func TestKShortestTrivial(t *testing.T) {
+	g := graph.Path(3)
+	paths := KShortest(g, 1, 1, 3)
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("self path = %v", paths)
+	}
+	if KShortest(g, 0, 2, 0) != nil {
+		t.Fatal("k=0 should be nil")
+	}
+}
+
+func TestKShortestLoopless(t *testing.T) {
+	g := graph.Random(12, 0.3, 7)
+	for _, p := range KShortest(g, 0, 11, 6) {
+		seen := map[int]bool{}
+		for _, v := range p {
+			if seen[v] {
+				t.Fatalf("path %v revisits %d", p, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	g := graph.Ring(6)
+	tab := NewTable(g, [][2]int{{0, 3}, {3, 0}, {1, 2}}, 3)
+	if got := tab.Paths(0, 3); len(got) != 2 {
+		t.Fatalf("Paths(0,3) = %v", got)
+	}
+	// Direction-insensitive.
+	if got := tab.Paths(3, 0); len(got) != 2 {
+		t.Fatalf("Paths(3,0) = %v", got)
+	}
+	if tab.Paths(0, 5) != nil {
+		t.Fatal("unprecomputed pair should be nil")
+	}
+}
+
+func TestSelectAvoidsCongestion(t *testing.T) {
+	g := graph.Ring(6)
+	tab := NewTable(g, [][2]int{{0, 3}}, 3)
+	budget := []int{5, 0, 5, 5, 5, 5} // node 1 exhausted
+	p := tab.Select(0, 3, budget)
+	for _, v := range p {
+		if v == 1 {
+			t.Fatalf("selected congested path %v", p)
+		}
+	}
+	// With ample budget everywhere, the (lexicographically first)
+	// shortest path wins deterministically.
+	even := []int{5, 5, 5, 5, 5, 5}
+	p2 := tab.Select(0, 3, even)
+	validatePath(t, g, p2, 0, 3)
+}
+
+func TestSelectNilForUnknownPair(t *testing.T) {
+	g := graph.Ring(4)
+	tab := NewTable(g, nil, 2)
+	if tab.Select(0, 2, []int{1, 1, 1, 1}) != nil {
+		t.Fatal("unknown pair should select nil")
+	}
+}
+
+// Property: on random connected graphs, every returned path is a valid
+// simple path with nondecreasing lengths, and the first equals the BFS
+// shortest path length.
+func TestQuickKShortestValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Random(10, 0.3, seed)
+		paths := KShortest(g, 0, 9, 4)
+		if len(paths) == 0 {
+			return false // Random() repairs connectivity
+		}
+		want := len(g.ShortestPath(0, 9))
+		if len(paths[0]) != want {
+			return false
+		}
+		prev := 0
+		for _, p := range paths {
+			if p[0] != 0 || p[len(p)-1] != 9 {
+				return false
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !g.HasEdge(p[i], p[i+1]) {
+					return false
+				}
+			}
+			if len(p) < prev {
+				return false
+			}
+			prev = len(p)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validatePath(t *testing.T, g *graph.Graph, p []int, from, to int) {
+	t.Helper()
+	if p[0] != from || p[len(p)-1] != to {
+		t.Fatalf("path %v endpoints wrong", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path %v uses non-edge %d-%d", p, p[i], p[i+1])
+		}
+	}
+}
+
+func samePath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

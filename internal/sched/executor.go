@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+)
+
+// JobState tracks one remote DAG's execution progress across EPR rounds.
+// The multi-tenant controller drives several JobStates against a shared
+// budget; the single-job Run drives one.
+type JobState struct {
+	dag *RemoteDAG
+	// prio caches the DAG priorities.
+	prio []int
+	// pending counts unfinished predecessors per node.
+	pending []int
+	// readyAt is the earliest time a node may start EPR attempts: its
+	// predecessors' finish plus its local lag. Nodes whose preds are
+	// unfinished hold +Inf implicitly via pending > 0.
+	readyAt []float64
+	// hopsLeft counts EPR links still to entangle per node.
+	hopsLeft []int
+	// paths holds each node's entanglement path; defaults to the remote
+	// DAG's shortest path, replaceable via SetPath before first attempt
+	// (congestion-aware multipath routing).
+	paths [][]int
+	// attempted marks nodes whose EPR attempts have started; their path
+	// is frozen.
+	attempted []bool
+	// finish records node completion times.
+	finish    []float64
+	remaining int
+	maxFinish float64
+	start     float64
+	// runnable lists nodes with no unfinished predecessors that still
+	// have hops left; maintained incrementally so Ready costs O(front)
+	// instead of O(nodes) per round.
+	runnable []int
+}
+
+// NewJobState prepares execution state for a remote DAG whose EPR
+// attempts may begin at the given start time (job arrival/placement).
+func NewJobState(dag *RemoteDAG, start float64) *JobState {
+	n := dag.Len()
+	s := &JobState{
+		dag:       dag,
+		prio:      dag.Priorities(),
+		pending:   make([]int, n),
+		readyAt:   make([]float64, n),
+		hopsLeft:  make([]int, n),
+		paths:     make([][]int, n),
+		attempted: make([]bool, n),
+		finish:    make([]float64, n),
+		remaining: n,
+		start:     start,
+	}
+	for i := 0; i < n; i++ {
+		s.pending[i] = len(dag.Preds[i])
+		s.hopsLeft[i] = dag.Nodes[i].Hops()
+		s.paths[i] = dag.Nodes[i].Path
+		s.readyAt[i] = start + dag.Nodes[i].Lag
+		if s.pending[i] == 0 {
+			s.runnable = append(s.runnable, i)
+		}
+	}
+	return s
+}
+
+// Path returns node u's current entanglement path.
+func (s *JobState) Path(u int) []int { return s.paths[u] }
+
+// Attempted reports whether node u has started EPR attempts.
+func (s *JobState) Attempted(u int) bool { return s.attempted[u] }
+
+// Priority returns node u's remote-DAG priority.
+func (s *JobState) Priority(u int) int { return s.prio[u] }
+
+// SetPath reroutes node u onto an alternative QPU path. Panics if the
+// node has already started attempting — switching paths would discard
+// accumulated hop entanglement.
+func (s *JobState) SetPath(u int, path []int) {
+	if s.attempted[u] {
+		panic(fmt.Sprintf("sched: rerouting node %d after attempts started", u))
+	}
+	if len(path) < 2 {
+		panic(fmt.Sprintf("sched: invalid path %v for node %d", path, u))
+	}
+	s.paths[u] = path
+	s.hopsLeft[u] = len(path) - 1
+}
+
+// Done reports whether every remote gate has completed.
+func (s *JobState) Done() bool { return s.remaining == 0 }
+
+// JCT returns the job completion time: the last remote gate's finish
+// plus the trailing local critical path — or the purely local runtime
+// for placements with no remote gates.
+func (s *JobState) JCT() float64 {
+	if s.dag.Len() == 0 {
+		return s.start + s.dag.LocalOnly
+	}
+	return s.maxFinish + s.dag.Tail
+}
+
+// Ready returns the node ids allowed to attempt EPR generation in the
+// round starting at time t. Completed nodes are compacted out of the
+// runnable list lazily.
+func (s *JobState) Ready(t float64) []int {
+	var ready []int
+	w := 0
+	for _, i := range s.runnable {
+		if s.hopsLeft[i] == 0 {
+			continue // completed; drop from runnable
+		}
+		s.runnable[w] = i
+		w++
+		if s.readyAt[i] <= t {
+			ready = append(ready, i)
+		}
+	}
+	s.runnable = s.runnable[:w]
+	return ready
+}
+
+// Requests converts ready nodes into policy requests tagged with job.
+func (s *JobState) Requests(job int, ready []int) []Request {
+	reqs := make([]Request, 0, len(ready))
+	for _, u := range ready {
+		reqs = append(reqs, Request{
+			Key:      NodeKey{Job: job, Node: u},
+			Path:     s.paths[u],
+			Priority: s.prio[u],
+		})
+	}
+	return reqs
+}
+
+// Attempt runs node u's EPR round with the given pair allocation,
+// sampling one Bernoulli trial per unfinished hop. If every hop is
+// entangled by the round's end, the gate completes: entanglement
+// swapping at intermediates, gate execution, and measurement follow.
+// roundStart is the round's opening time.
+func (s *JobState) Attempt(u, pairs int, roundStart float64, m epr.Model, rng *rand.Rand) {
+	if pairs <= 0 || s.hopsLeft[u] == 0 {
+		return
+	}
+	s.attempted[u] = true
+	for h := s.hopsLeft[u]; h > 0; h-- {
+		if m.SampleRoundSuccess(rng, pairs) {
+			s.hopsLeft[u]--
+		}
+	}
+	if s.hopsLeft[u] == 0 {
+		swaps := float64(len(s.paths[u])-2) * m.Measure
+		s.complete(u, roundStart+m.EPRAttempt+swaps+m.TwoQubit+m.Measure)
+	}
+}
+
+func (s *JobState) complete(u int, at float64) {
+	s.finish[u] = at
+	s.remaining--
+	if at > s.maxFinish {
+		s.maxFinish = at
+	}
+	for _, v := range s.dag.Succs[u] {
+		s.pending[v]--
+		if ra := at + s.dag.Nodes[v].Lag; ra > s.readyAt[v] {
+			s.readyAt[v] = ra
+		}
+		if s.pending[v] == 0 {
+			s.runnable = append(s.runnable, v)
+		}
+	}
+}
+
+// Result summarizes one scheduling run.
+type Result struct {
+	// JCT is the job completion time in CX units.
+	JCT float64
+	// Rounds is the number of EPR attempt rounds simulated.
+	Rounds int
+	// RemoteGates is the remote DAG size.
+	RemoteGates int
+}
+
+// Run simulates a single job's remote DAG to completion under the given
+// allocation policy, with each QPU contributing its full communication
+// qubit budget every EPR round. It is Algorithm 3's main loop.
+func Run(dag *RemoteDAG, cl *cloud.Cloud, m epr.Model, p Policy, rng *rand.Rand) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < cl.NumQPUs(); i++ {
+		if cl.QPU(i).Comm < 1 {
+			return Result{}, fmt.Errorf("sched: QPU %d has no communication qubits", i)
+		}
+	}
+	s := NewJobState(dag, 0)
+	res := Result{RemoteGates: dag.Len()}
+	if dag.Len() == 0 {
+		res.JCT = s.JCT()
+		return res, nil
+	}
+	budget := make([]int, cl.NumQPUs())
+	t := 0.0
+	for !s.Done() {
+		ready := s.Ready(t)
+		if len(ready) == 0 {
+			// All runnable nodes are waiting on finish times beyond t:
+			// jump to the next enabling instant aligned to round starts.
+			t = s.nextEnableTime(t)
+			continue
+		}
+		for i := range budget {
+			budget[i] = cl.QPU(i).Comm
+		}
+		alloc := p.Allocate(s.Requests(0, ready), budget, rng)
+		for _, u := range ready {
+			s.Attempt(u, alloc[NodeKey{Job: 0, Node: u}], t, m, rng)
+		}
+		res.Rounds++
+		t += m.EPRAttempt
+	}
+	res.JCT = s.JCT()
+	return res, nil
+}
+
+// nextEnableTime returns the earliest readyAt among runnable nodes that
+// is after t; it must exist while the job is not done.
+func (s *JobState) nextEnableTime(t float64) float64 {
+	next := -1.0
+	for _, i := range s.runnable {
+		if s.hopsLeft[i] > 0 && s.readyAt[i] > t {
+			if next < 0 || s.readyAt[i] < next {
+				next = s.readyAt[i]
+			}
+		}
+	}
+	if next < 0 {
+		panic(fmt.Sprintf("sched: stalled with %d remaining nodes", s.remaining))
+	}
+	return next
+}

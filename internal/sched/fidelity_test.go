@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+)
+
+func TestRunFidelityCompletesAndCostsMore(t *testing.T) {
+	// A 3-hop remote gate at 0.97 link fidelity needs purification; the
+	// fidelity-aware run must take at least as long as the plain run.
+	cl := cloud.New(graph.Path(4), 10, 5)
+	c := circuit.New("far", 2)
+	c.Append(circuit.CX(0, 1))
+	d := BuildRemoteDAG(c, cl, []int{0, 3}, epr.DefaultLatency())
+
+	fm := epr.DefaultFidelityModel()
+	var plain, fid float64
+	const reps = 25
+	for seed := int64(0); seed < reps; seed++ {
+		p, err := Run(d, cl, fm.Model, AveragePolicy{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := RunFidelity(d, cl, fm, AveragePolicy{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += p.JCT
+		fid += f.JCT
+	}
+	if fid < plain {
+		t.Fatalf("fidelity-aware mean JCT %v beat plain %v; purification must cost time", fid/reps, plain/reps)
+	}
+}
+
+func TestRunFidelityNoPurificationMatchesPlain(t *testing.T) {
+	// A 1-hop gate with very high link fidelity needs no purification:
+	// identical seeds give identical results.
+	cl := cloud.New(graph.Path(2), 10, 5)
+	c := circuit.New("near", 2)
+	c.Append(circuit.CX(0, 1))
+	d := BuildRemoteDAG(c, cl, []int{0, 1}, epr.DefaultLatency())
+	fm := epr.DefaultFidelityModel()
+	fm.LinkFidelity = 0.999
+	p, err := Run(d, cl, fm.Model, CloudQCPolicy{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := RunFidelity(d, cl, fm, CloudQCPolicy{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.JCT != f.JCT {
+		t.Fatalf("no-purification JCT %v != plain %v", f.JCT, p.JCT)
+	}
+}
+
+func TestRunFidelityUnreachableThresholdErrors(t *testing.T) {
+	cl := cloud.New(graph.Path(4), 10, 5)
+	c := circuit.New("far", 2)
+	c.Append(circuit.CX(0, 1))
+	d := BuildRemoteDAG(c, cl, []int{0, 3}, epr.DefaultLatency())
+	fm := epr.DefaultFidelityModel()
+	fm.LinkFidelity = 0.51
+	fm.Threshold = 0.999
+	if _, err := RunFidelity(d, cl, fm, CloudQCPolicy{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unreachable threshold should error")
+	}
+}
+
+func TestRunFidelityInvalidModelErrors(t *testing.T) {
+	cl := cloud.New(graph.Path(2), 10, 5)
+	c := circuit.New("x", 2)
+	c.Append(circuit.CX(0, 1))
+	d := BuildRemoteDAG(c, cl, []int{0, 1}, epr.DefaultLatency())
+	bad := epr.DefaultFidelityModel()
+	bad.LinkFidelity = 0.3
+	if _, err := RunFidelity(d, cl, bad, CloudQCPolicy{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid fidelity model should error")
+	}
+}
+
+func TestRunFidelityLocalOnly(t *testing.T) {
+	cl := cloud.New(graph.Path(2), 10, 5)
+	c := circuit.New("local", 2)
+	c.Append(circuit.H(0), circuit.CX(0, 1), circuit.M(1))
+	d := BuildRemoteDAG(c, cl, []int{0, 0}, epr.DefaultLatency())
+	res, err := RunFidelity(d, cl, epr.DefaultFidelityModel(), CloudQCPolicy{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.JCT <= 0 {
+		t.Fatalf("local-only result %+v", res)
+	}
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/route"
+)
+
+// RunMultipath is Run with congestion-aware entanglement routing: every
+// remote gate chooses, the first round it becomes ready, the
+// least-congested of its k shortest QPU paths (bottleneck budget after
+// discounting the paths already claimed by higher-priority gates this
+// round). k = 1 degenerates to Run's behavior on shortest paths.
+//
+// Multi-hop gates benefit most: on sparse topologies the single
+// shortest path between two QPU clusters becomes a hot spot, and
+// spreading attempts over alternatives raises round throughput.
+func RunMultipath(dag *RemoteDAG, cl *cloud.Cloud, m epr.Model, p Policy, rng *rand.Rand, k int) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("sched: multipath k = %d < 1", k)
+	}
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < cl.NumQPUs(); i++ {
+		if cl.QPU(i).Comm < 1 {
+			return Result{}, fmt.Errorf("sched: QPU %d has no communication qubits", i)
+		}
+	}
+
+	// Precompute alternatives for every distinct endpoint pair.
+	pairs := make([][2]int, 0, dag.Len())
+	for _, n := range dag.Nodes {
+		pairs = append(pairs, [2]int{n.Path[0], n.Path[len(n.Path)-1]})
+	}
+	table := route.NewTable(cl.Topology(), pairs, k)
+
+	s := NewJobState(dag, 0)
+	res := Result{RemoteGates: dag.Len()}
+	if dag.Len() == 0 {
+		res.JCT = s.JCT()
+		return res, nil
+	}
+	budget := make([]int, cl.NumQPUs())
+	virtual := make([]int, cl.NumQPUs())
+	t := 0.0
+	for !s.Done() {
+		ready := s.Ready(t)
+		if len(ready) == 0 {
+			t = s.nextEnableTime(t)
+			continue
+		}
+		for i := range budget {
+			budget[i] = cl.QPU(i).Comm
+			virtual[i] = budget[i]
+		}
+		// Route first-time-ready gates in priority order against the
+		// virtual budget, so concurrent gates spread over the topology.
+		orderedRoute(s, ready, table, virtual)
+		alloc := p.Allocate(s.Requests(0, ready), budget, rng)
+		for _, u := range ready {
+			s.Attempt(u, alloc[NodeKey{Job: 0, Node: u}], t, m, rng)
+		}
+		res.Rounds++
+		t += m.EPRAttempt
+	}
+	res.JCT = s.JCT()
+	return res, nil
+}
+
+// orderedRoute assigns paths to not-yet-attempted ready nodes, highest
+// priority first, decrementing the virtual budget along each chosen
+// path so later gates see earlier gates' claims.
+func orderedRoute(s *JobState, ready []int, table *route.Table, virtual []int) {
+	order := append([]int(nil), ready...)
+	sort.Slice(order, func(i, j int) bool {
+		if s.Priority(order[i]) != s.Priority(order[j]) {
+			return s.Priority(order[i]) > s.Priority(order[j])
+		}
+		return order[i] < order[j]
+	})
+	for _, u := range order {
+		cur := s.Path(u)
+		if s.Attempted(u) {
+			// Path frozen; still record its claim for later gates.
+			claim(cur, virtual)
+			continue
+		}
+		a, b := cur[0], cur[len(cur)-1]
+		if alt := table.Select(a, b, virtual); alt != nil && len(alt) >= 2 {
+			s.SetPath(u, alt)
+			claim(alt, virtual)
+		} else {
+			claim(cur, virtual)
+		}
+	}
+}
+
+func claim(path []int, virtual []int) {
+	for _, q := range path {
+		virtual[q]--
+	}
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/graph"
+)
+
+// ringCloud builds a ring topology where multi-hop pairs have two
+// disjoint paths — the setting where multipath routing matters.
+func ringCloud(comm int) *cloud.Cloud {
+	return cloud.New(graph.Ring(6), 20, comm)
+}
+
+// crossRingCircuit puts many parallel remote gates between QPUs 0 and 3
+// (opposite ring points, 3 hops apart with two disjoint routes).
+func crossRingCircuit(gates int) (*circuit.Circuit, []int) {
+	c := circuit.New("cross", 2*gates)
+	assign := make([]int, 2*gates)
+	for i := 0; i < gates; i++ {
+		c.Append(circuit.CX(i, gates+i))
+		assign[gates+i] = 3
+	}
+	return c, assign
+}
+
+func TestRunMultipathValidatesArgs(t *testing.T) {
+	c, assign := crossRingCircuit(2)
+	cl := ringCloud(5)
+	d := BuildRemoteDAG(c, cl, assign, epr.DefaultLatency())
+	if _, err := RunMultipath(d, cl, epr.DefaultModel(), CloudQCPolicy{}, rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	bad := epr.DefaultModel()
+	bad.SuccessProb = 0
+	if _, err := RunMultipath(d, cl, bad, CloudQCPolicy{}, rand.New(rand.NewSource(1)), 2); err == nil {
+		t.Fatal("invalid model should error")
+	}
+}
+
+func TestRunMultipathK1MatchesRunShape(t *testing.T) {
+	c, assign := crossRingCircuit(4)
+	cl := ringCloud(5)
+	d := BuildRemoteDAG(c, cl, assign, epr.DefaultLatency())
+	m := epr.Model{Latency: epr.DefaultLatency(), SuccessProb: 1}
+	single, err := Run(d, cl, m, AveragePolicy{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi1, err := RunMultipath(d, cl, m, AveragePolicy{}, rand.New(rand.NewSource(1)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k=1 both use shortest paths of identical length; under p=1
+	// the outcomes coincide.
+	if single.JCT != multi1.JCT {
+		t.Fatalf("k=1 multipath JCT %v != single-path %v", multi1.JCT, single.JCT)
+	}
+}
+
+func TestRunMultipathSpreadsLoad(t *testing.T) {
+	// 8 parallel 3-hop gates, 4 comm qubits per QPU: the single shortest
+	// path bottlenecks, two disjoint ring paths double throughput.
+	// Multipath must not be slower on average and should usually win.
+	c, assign := crossRingCircuit(8)
+	cl := ringCloud(4)
+	d := BuildRemoteDAG(c, cl, assign, epr.DefaultLatency())
+	m := epr.DefaultModel()
+	var sumSingle, sumMulti float64
+	const reps = 20
+	for seed := int64(0); seed < reps; seed++ {
+		s, err := Run(d, cl, m, AveragePolicy{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, err := RunMultipath(d, cl, m, AveragePolicy{}, rand.New(rand.NewSource(seed)), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSingle += s.JCT
+		sumMulti += mu.JCT
+	}
+	if sumMulti > sumSingle {
+		t.Fatalf("multipath mean JCT %v worse than single-path %v", sumMulti/reps, sumSingle/reps)
+	}
+}
+
+func TestSetPathRules(t *testing.T) {
+	c, assign := crossRingCircuit(1)
+	cl := ringCloud(5)
+	d := BuildRemoteDAG(c, cl, assign, epr.DefaultLatency())
+	s := NewJobState(d, 0)
+	// Valid reroute before attempts.
+	alt := []int{0, 5, 4, 3}
+	s.SetPath(0, alt)
+	if got := s.Path(0); len(got) != 4 {
+		t.Fatalf("Path = %v", got)
+	}
+	// Attempt freezes the path.
+	m := epr.Model{Latency: epr.DefaultLatency(), SuccessProb: 0.01}
+	s.Attempt(0, 1, 0, m, rand.New(rand.NewSource(1)))
+	if !s.Attempted(0) {
+		t.Fatal("Attempted not recorded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetPath after attempts should panic")
+		}
+	}()
+	s.SetPath(0, []int{0, 1, 2, 3})
+}
+
+func TestSetPathRejectsDegenerate(t *testing.T) {
+	c, assign := crossRingCircuit(1)
+	cl := ringCloud(5)
+	d := BuildRemoteDAG(c, cl, assign, epr.DefaultLatency())
+	s := NewJobState(d, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-node path should panic")
+		}
+	}()
+	s.SetPath(0, []int{0})
+}
+
+func TestRunMultipathLocalOnly(t *testing.T) {
+	cl := ringCloud(5)
+	c := circuit.New("local", 2)
+	c.Append(circuit.H(0), circuit.CX(0, 1))
+	d := BuildRemoteDAG(c, cl, []int{0, 0}, epr.DefaultLatency())
+	res, err := RunMultipath(d, cl, epr.DefaultModel(), CloudQCPolicy{}, rand.New(rand.NewSource(1)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.JCT <= 0 {
+		t.Fatalf("local-only result %+v", res)
+	}
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// NodeKey identifies a remote gate within a (possibly multi-job) round:
+// Job is an opaque job index assigned by the caller, Node the remote DAG
+// node id.
+type NodeKey struct {
+	Job  int
+	Node int
+}
+
+// Request asks the allocation policy for communication qubits on behalf
+// of one ready remote gate.
+type Request struct {
+	Key NodeKey
+	// Path lists the QPUs whose communication qubits one EPR pair for
+	// this gate consumes (endpoints plus swap intermediates).
+	Path []int
+	// Priority is the gate's remote-DAG priority (longest path to leaf).
+	Priority int
+}
+
+// Policy divides each round's communication qubit budget among competing
+// ready gates. Implementations must never allocate beyond budget and
+// must be deterministic given the same rng state.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate returns EPR attempt pairs per requesting gate. budget is
+	// the per-QPU free communication qubit count for this round and is
+	// consumed in place.
+	Allocate(reqs []Request, budget []int, rng *rand.Rand) map[NodeKey]int
+}
+
+// grantOne consumes one communication qubit on every QPU of the request
+// path if all have budget, returning whether the grant happened.
+func grantOne(r Request, budget []int) bool {
+	for _, q := range r.Path {
+		if budget[q] < 1 {
+			return false
+		}
+	}
+	for _, q := range r.Path {
+		budget[q]--
+	}
+	return true
+}
+
+// sortByPriority orders requests by descending priority, breaking ties
+// by job then node id for determinism.
+func sortByPriority(reqs []Request) []Request {
+	out := append([]Request(nil), reqs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		if out[i].Key.Job != out[j].Key.Job {
+			return out[i].Key.Job < out[j].Key.Job
+		}
+		return out[i].Key.Node < out[j].Key.Node
+	})
+	return out
+}
+
+// CloudQCPolicy is the paper's scheduler: every ready gate first gets one
+// attempt pair when possible (starvation freedom), then the remaining
+// budget is water-filled proportionally to priority weight, so critical
+// path gates accumulate redundant pairs and tolerate EPR failures.
+type CloudQCPolicy struct{}
+
+// Name implements Policy.
+func (CloudQCPolicy) Name() string { return "CloudQC" }
+
+// Allocate implements Policy.
+func (CloudQCPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
+	alloc := make(map[NodeKey]int, len(reqs))
+	ordered := sortByPriority(reqs)
+	for _, r := range ordered {
+		if grantOne(r, budget) {
+			alloc[r.Key]++
+		}
+	}
+	// Water-fill extras: repeatedly grant +1 to the request minimizing
+	// granted/weight, weight = priority + 1. Ties resolve to higher
+	// priority, then request order.
+	for {
+		bestIdx := -1
+		var bestRatio float64
+		for i, r := range ordered {
+			if alloc[r.Key] == 0 {
+				continue // starved by budget; extras would also fail
+			}
+			if !canGrant(r, budget) {
+				continue
+			}
+			ratio := float64(alloc[r.Key]) / float64(r.Priority+1)
+			if bestIdx < 0 || ratio < bestRatio {
+				bestIdx, bestRatio = i, ratio
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		r := ordered[bestIdx]
+		grantOne(r, budget)
+		alloc[r.Key]++
+	}
+	return alloc
+}
+
+func canGrant(r Request, budget []int) bool {
+	for _, q := range r.Path {
+		if budget[q] < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyPolicy always gives the highest-priority gate every pair its
+// path can absorb before considering the next gate — the paper's worst
+// performer, since stacked pairs have diminishing returns while other
+// gates starve.
+type GreedyPolicy struct{}
+
+// Name implements Policy.
+func (GreedyPolicy) Name() string { return "Greedy" }
+
+// Allocate implements Policy.
+func (GreedyPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
+	alloc := make(map[NodeKey]int, len(reqs))
+	for _, r := range sortByPriority(reqs) {
+		for grantOne(r, budget) {
+			alloc[r.Key]++
+		}
+	}
+	return alloc
+}
+
+// AveragePolicy distributes pairs evenly: round-robin single grants in
+// deterministic node order until the budget is exhausted.
+type AveragePolicy struct{}
+
+// Name implements Policy.
+func (AveragePolicy) Name() string { return "Average" }
+
+// Allocate implements Policy.
+func (AveragePolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
+	alloc := make(map[NodeKey]int, len(reqs))
+	ordered := append([]Request(nil), reqs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Key.Job != ordered[j].Key.Job {
+			return ordered[i].Key.Job < ordered[j].Key.Job
+		}
+		return ordered[i].Key.Node < ordered[j].Key.Node
+	})
+	for {
+		granted := false
+		for _, r := range ordered {
+			if grantOne(r, budget) {
+				alloc[r.Key]++
+				granted = true
+			}
+		}
+		if !granted {
+			break
+		}
+	}
+	return alloc
+}
+
+// RandomPolicy hands out single pairs to uniformly random ready gates
+// until no grant is possible.
+type RandomPolicy struct{}
+
+// Name implements Policy.
+func (RandomPolicy) Name() string { return "Random" }
+
+// Allocate implements Policy.
+func (RandomPolicy) Allocate(reqs []Request, budget []int, rng *rand.Rand) map[NodeKey]int {
+	alloc := make(map[NodeKey]int, len(reqs))
+	live := append([]Request(nil), reqs...)
+	for len(live) > 0 {
+		i := rng.Intn(len(live))
+		if grantOne(live[i], budget) {
+			alloc[live[i].Key]++
+			continue
+		}
+		// Path exhausted: drop this request from the lottery.
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	return alloc
+}

@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func req(job, node, prio int, path ...int) Request {
+	return Request{Key: NodeKey{Job: job, Node: node}, Path: path, Priority: prio}
+}
+
+func sumAlloc(alloc map[NodeKey]int) int {
+	total := 0
+	for _, v := range alloc {
+		total += v
+	}
+	return total
+}
+
+// consumption verifies no QPU's budget went negative and returns usage.
+func checkBudget(t *testing.T, alloc map[NodeKey]int, reqs []Request, original []int) {
+	t.Helper()
+	used := make([]int, len(original))
+	for _, r := range reqs {
+		for _, q := range r.Path {
+			used[q] += alloc[r.Key]
+		}
+	}
+	for q := range used {
+		if used[q] > original[q] {
+			t.Fatalf("QPU %d used %d of %d", q, used[q], original[q])
+		}
+	}
+}
+
+func TestCloudQCStarvationFreedom(t *testing.T) {
+	// Two gates on the same QPU pair with very different priorities:
+	// both must get at least one pair when the budget allows.
+	reqs := []Request{req(0, 0, 10, 0, 1), req(0, 1, 0, 0, 1)}
+	budget := []int{5, 5}
+	orig := append([]int(nil), budget...)
+	alloc := CloudQCPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	if alloc[NodeKey{0, 0}] < 1 || alloc[NodeKey{0, 1}] < 1 {
+		t.Fatalf("starvation: alloc = %v", alloc)
+	}
+	checkBudget(t, alloc, reqs, orig)
+}
+
+func TestCloudQCPriorityGetsMore(t *testing.T) {
+	reqs := []Request{req(0, 0, 9, 0, 1), req(0, 1, 0, 0, 1)}
+	budget := []int{10, 10}
+	alloc := CloudQCPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	if alloc[NodeKey{0, 0}] <= alloc[NodeKey{0, 1}] {
+		t.Fatalf("high priority should receive more: %v", alloc)
+	}
+	if sumAlloc(alloc) != 10 {
+		t.Fatalf("full budget should be used: %v", alloc)
+	}
+}
+
+func TestGreedyTakesAll(t *testing.T) {
+	reqs := []Request{req(0, 0, 5, 0, 1), req(0, 1, 1, 0, 1)}
+	budget := []int{4, 4}
+	alloc := GreedyPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	if alloc[NodeKey{0, 0}] != 4 {
+		t.Fatalf("greedy should give everything to top priority: %v", alloc)
+	}
+	if alloc[NodeKey{0, 1}] != 0 {
+		t.Fatalf("greedy should starve the rest this round: %v", alloc)
+	}
+}
+
+func TestGreedySpillsToDisjointPaths(t *testing.T) {
+	// Top priority saturates QPUs 0-1; a gate on QPUs 2-3 still gets
+	// pairs from its own budget.
+	reqs := []Request{req(0, 0, 5, 0, 1), req(0, 1, 1, 2, 3)}
+	budget := []int{2, 2, 3, 3}
+	alloc := GreedyPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	if alloc[NodeKey{0, 0}] != 2 || alloc[NodeKey{0, 1}] != 3 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+}
+
+func TestAverageEvenSplit(t *testing.T) {
+	reqs := []Request{req(0, 0, 9, 0, 1), req(0, 1, 0, 0, 1)}
+	budget := []int{6, 6}
+	alloc := AveragePolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	if alloc[NodeKey{0, 0}] != 3 || alloc[NodeKey{0, 1}] != 3 {
+		t.Fatalf("average should split evenly regardless of priority: %v", alloc)
+	}
+}
+
+func TestRandomExhaustsBudget(t *testing.T) {
+	reqs := []Request{req(0, 0, 2, 0, 1), req(0, 1, 1, 0, 1)}
+	budget := []int{4, 4}
+	orig := append([]int(nil), budget...)
+	alloc := RandomPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(3)))
+	if sumAlloc(alloc) != 4 {
+		t.Fatalf("random should hand out the full shared budget: %v", alloc)
+	}
+	checkBudget(t, alloc, reqs, orig)
+}
+
+func TestMultiHopConsumesIntermediates(t *testing.T) {
+	// One gate across a 2-hop path 0-1-2: each pair consumes a qubit on
+	// all three QPUs.
+	reqs := []Request{req(0, 0, 1, 0, 1, 2)}
+	budget := []int{3, 2, 3}
+	alloc := GreedyPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	if alloc[NodeKey{0, 0}] != 2 {
+		t.Fatalf("allocation limited by intermediate QPU: %v", alloc)
+	}
+	if budget[1] != 0 {
+		t.Fatalf("intermediate budget = %d, want 0", budget[1])
+	}
+}
+
+func TestPoliciesDeterministicGivenSeed(t *testing.T) {
+	reqs := []Request{
+		req(0, 0, 3, 0, 1), req(0, 1, 2, 1, 2), req(1, 0, 1, 0, 2),
+	}
+	for _, p := range []Policy{CloudQCPolicy{}, GreedyPolicy{}, AveragePolicy{}, RandomPolicy{}} {
+		b1 := []int{4, 4, 4}
+		b2 := []int{4, 4, 4}
+		a1 := p.Allocate(reqs, b1, rand.New(rand.NewSource(9)))
+		a2 := p.Allocate(reqs, b2, rand.New(rand.NewSource(9)))
+		for k, v := range a1 {
+			if a2[k] != v {
+				t.Fatalf("%s not deterministic: %v vs %v", p.Name(), a1, a2)
+			}
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]Policy{
+		"CloudQC": CloudQCPolicy{},
+		"Greedy":  GreedyPolicy{},
+		"Average": AveragePolicy{},
+		"Random":  RandomPolicy{},
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Fatalf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+}
+
+// Property: no policy ever over-consumes any QPU's budget, and every
+// allocation is non-negative.
+func TestQuickPoliciesRespectBudget(t *testing.T) {
+	policies := []Policy{CloudQCPolicy{}, GreedyPolicy{}, AveragePolicy{}, RandomPolicy{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nQPU := 3 + rng.Intn(4)
+		var reqs []Request
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			a := rng.Intn(nQPU)
+			b := rng.Intn(nQPU)
+			if a == b {
+				b = (b + 1) % nQPU
+			}
+			reqs = append(reqs, req(0, i, rng.Intn(5), a, b))
+		}
+		for _, p := range policies {
+			budget := make([]int, nQPU)
+			orig := make([]int, nQPU)
+			for i := range budget {
+				budget[i] = 1 + rng.Intn(6)
+				orig[i] = budget[i]
+			}
+			alloc := p.Allocate(reqs, budget, rand.New(rand.NewSource(seed)))
+			used := make([]int, nQPU)
+			for _, r := range reqs {
+				if alloc[r.Key] < 0 {
+					return false
+				}
+				for _, q := range r.Path {
+					used[q] += alloc[r.Key]
+				}
+			}
+			for q := range used {
+				if used[q] > orig[q] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package sched implements CloudQC's network scheduler (paper Sec. V-C,
+// Algorithm 3): it contracts a placed circuit into a remote DAG of
+// inter-QPU gates, computes critical-path priorities, and simulates
+// round-based probabilistic EPR allocation under per-QPU communication
+// qubit budgets, with the CloudQC, Greedy, Average, and Random policies
+// of the evaluation.
+package sched
+
+import (
+	"sort"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/epr"
+)
+
+// RemoteGate is one inter-QPU two-qubit gate in the remote DAG.
+type RemoteGate struct {
+	// ID is the node index within the remote DAG.
+	ID int
+	// GateIndex is the gate's position in the original circuit.
+	GateIndex int
+	// Path is the shortest QPU path between the gate's endpoints,
+	// inclusive; len(Path)-1 is the number of EPR hops.
+	Path []int
+	// Lag is the local-computation latency that must elapse between this
+	// gate's remote predecessors finishing and its EPR attempts starting
+	// (longest chain of local gates in between).
+	Lag float64
+	// Teleport marks qubit-migration nodes inserted by
+	// BuildMigratingDAG: the EPR pair moves a qubit instead of executing
+	// a gate.
+	Teleport bool
+}
+
+// Hops returns the number of quantum links the gate spans.
+func (g *RemoteGate) Hops() int { return len(g.Path) - 1 }
+
+// RemoteDAG is the dependency graph over a placed circuit's remote gates
+// (paper Fig. 3). Local gates are folded into per-node Lag values and
+// the terminal Tail so job completion time still reflects them.
+type RemoteDAG struct {
+	// Nodes lists the remote gates in circuit program order.
+	Nodes []RemoteGate
+	// Succs and Preds are adjacency lists over node IDs.
+	Succs, Preds [][]int
+	// Tail is the longest local-gate chain after the final remote gates;
+	// job completion = last remote finish + Tail.
+	Tail float64
+	// LocalOnly is the full critical-path runtime when the placement
+	// produced no remote gates at all (single-QPU placements).
+	LocalOnly float64
+}
+
+// Len returns the number of remote gates.
+func (d *RemoteDAG) Len() int { return len(d.Nodes) }
+
+// BuildRemoteDAG contracts the placed circuit to its remote DAG.
+// assign maps qubits to QPUs; lat supplies local gate durations for the
+// lag/tail bookkeeping.
+func BuildRemoteDAG(c *circuit.Circuit, cl *cloud.Cloud, assign []int, lat epr.Latency) *RemoteDAG {
+	d := &RemoteDAG{}
+	n := c.NumQubits()
+	// frontier[q]: remote nodes that are the latest remote ancestors on
+	// qubit q's line. lag[q]: local latency accumulated since then.
+	frontier := make([][]int, n)
+	lag := make([]float64, n)
+
+	for gi, g := range c.Gates() {
+		switch {
+		case g.Kind == circuit.Two && assign[g.Qubits[0]] != assign[g.Qubits[1]]:
+			a, b := g.Qubits[0], g.Qubits[1]
+			id := len(d.Nodes)
+			node := RemoteGate{
+				ID:        id,
+				GateIndex: gi,
+				Path:      cl.Path(assign[a], assign[b]),
+				Lag:       maxf(lag[a], lag[b]),
+			}
+			parents := mergeSorted(frontier[a], frontier[b])
+			d.Nodes = append(d.Nodes, node)
+			d.Succs = append(d.Succs, nil)
+			d.Preds = append(d.Preds, parents)
+			for _, p := range parents {
+				d.Succs[p] = append(d.Succs[p], id)
+			}
+			frontier[a] = []int{id}
+			frontier[b] = []int{id}
+			lag[a], lag[b] = 0, 0
+		case g.Kind == circuit.Two:
+			a, b := g.Qubits[0], g.Qubits[1]
+			merged := mergeSorted(frontier[a], frontier[b])
+			t := maxf(lag[a], lag[b]) + lat.GateDuration(g.Kind)
+			frontier[a] = merged
+			frontier[b] = append([]int(nil), merged...)
+			lag[a], lag[b] = t, t
+		default:
+			q := g.Qubits[0]
+			lag[q] += lat.GateDuration(g.Kind)
+		}
+	}
+
+	for q := 0; q < n; q++ {
+		if lag[q] > d.Tail {
+			d.Tail = lag[q]
+		}
+	}
+	if len(d.Nodes) == 0 {
+		dag := circuit.BuildDAG(c)
+		d.LocalOnly, _ = dag.CriticalPath(func(i int) float64 {
+			return lat.GateDuration(c.Gates()[i].Kind)
+		})
+		d.Tail = 0
+	}
+	return d
+}
+
+// Priorities returns each node's priority: the length in edges of the
+// longest path from the node to any leaf (paper Sec. V-C). Nodes with
+// high priority block the most downstream work when they stall.
+func (d *RemoteDAG) Priorities() []int {
+	p := make([]int, d.Len())
+	for i := d.Len() - 1; i >= 0; i-- { // reverse program order is reverse topological
+		for _, s := range d.Succs[i] {
+			if p[s]+1 > p[i] {
+				p[i] = p[s] + 1
+			}
+		}
+	}
+	return p
+}
+
+// FrontLayer returns nodes with no predecessors.
+func (d *RemoteDAG) FrontLayer() []int {
+	var front []int
+	for i := range d.Preds {
+		if len(d.Preds[i]) == 0 {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// CriticalPathLen returns the number of nodes on the longest dependency
+// chain, a lower bound on sequential EPR phases.
+func (d *RemoteDAG) CriticalPathLen() int {
+	if d.Len() == 0 {
+		return 0
+	}
+	longest := 0
+	for _, p := range d.Priorities() {
+		if p+1 > longest {
+			longest = p + 1
+		}
+	}
+	return longest
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mergeSorted unions two ascending int slices without duplicates.
+func mergeSorted(a, b []int) []int {
+	if len(a) == 0 {
+		return append([]int(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]int(nil), a...)
+	}
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"cloudqc/internal/qlib"
+)
+
+func TestAllWorkloadsResolvable(t *testing.T) {
+	for _, w := range All() {
+		if len(w.Circuits) == 0 {
+			t.Fatalf("workload %s empty", w.Name)
+		}
+		for _, name := range w.Circuits {
+			if _, err := qlib.Build(name); err != nil {
+				t.Fatalf("workload %s: %v", w.Name, err)
+			}
+		}
+	}
+}
+
+func TestBatchSizeAndIDs(t *testing.T) {
+	jobs, err := Mixed().Batch(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 20 {
+		t.Fatalf("batch size = %d", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if j.Arrival != 0 {
+			t.Fatalf("batch arrival = %v, want 0", j.Arrival)
+		}
+		if j.Circuit == nil {
+			t.Fatalf("job %d has nil circuit", i)
+		}
+	}
+}
+
+func TestBatchDeterministicAndSeedSensitive(t *testing.T) {
+	a, err := Mixed().Batch(20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mixed().Batch(20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Circuit.Name != b[i].Circuit.Name {
+			t.Fatal("same seed should give identical batches")
+		}
+	}
+	c, err := Mixed().Batch(20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Circuit.Name != c[i].Circuit.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should usually differ")
+	}
+}
+
+func TestBatchSharesCircuitInstances(t *testing.T) {
+	jobs, err := QFT().Batch(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	first := map[string]interface{}{}
+	for _, j := range jobs {
+		byName[j.Circuit.Name]++
+		if prev, ok := first[j.Circuit.Name]; ok {
+			if prev != interface{}(j.Circuit) {
+				t.Fatal("same benchmark should share one cached circuit instance")
+			}
+		} else {
+			first[j.Circuit.Name] = j.Circuit
+		}
+	}
+	if len(byName) < 2 {
+		t.Fatalf("30 draws from 3 circuits should hit >= 2 names: %v", byName)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	if _, err := Mixed().Batch(0, 1); err == nil {
+		t.Fatal("zero size should error")
+	}
+	bad := Workload{Name: "bad", Circuits: []string{"nope"}}
+	if _, err := bad.Batch(3, 1); err == nil {
+		t.Fatal("unknown circuit should error")
+	}
+	empty := Workload{Name: "empty"}
+	if _, err := empty.Batch(3, 1); err == nil {
+		t.Fatal("empty pool should error")
+	}
+}
+
+func TestPoissonBatchArrivalsNondecreasing(t *testing.T) {
+	jobs, err := Qugan().PoissonBatch(15, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Arrival != 0 {
+		t.Fatalf("first arrival = %v, want 0", jobs[0].Arrival)
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+	}
+	last := jobs[len(jobs)-1].Arrival
+	if last <= 0 {
+		t.Fatalf("arrivals never advanced: last = %v", last)
+	}
+}
+
+func TestPoissonBatchNegativeRateErrors(t *testing.T) {
+	if _, err := Qugan().PoissonBatch(5, -1, 3); err == nil {
+		t.Fatal("negative interarrival should error")
+	}
+}
