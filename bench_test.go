@@ -10,8 +10,16 @@ package cloudqc
 // both times the pipelines and emits the paper-comparison data recorded
 // in EXPERIMENTS.md. Experiments are scaled to bench-friendly sizes; the
 // cloudqc CLI runs the full-size versions.
+//
+// Experiments fan their independent (sweep point × rep) tasks out to the
+// exp worker pool, each task seeding its RNG from (seed, point, rep), so
+// timings scale with cores while the printed rows stay bit-identical at
+// any pool size. -expworkers pins the pool (1 = the sequential baseline):
+//
+//	go test -bench=BenchmarkFig1 -benchtime=1x -expworkers=1
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 	"testing"
@@ -20,11 +28,15 @@ import (
 	"cloudqc/internal/workload"
 )
 
+// expWorkers sizes the experiment worker pool for every benchmark.
+var expWorkers = flag.Int("expworkers", 0, "experiment workers (0 = all CPUs, 1 = sequential)")
+
 // benchOpts keeps benchmark iterations affordable while preserving the
 // paper's cloud setting.
 func benchOpts() exp.Options {
 	o := exp.Defaults()
 	o.Reps = 2
+	o.Workers = *expWorkers
 	return o
 }
 

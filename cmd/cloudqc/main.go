@@ -19,7 +19,9 @@
 //	run                      full pipeline for one circuit (-circuit)
 //
 // Common flags: -qpus, -edge-prob, -computing, -comm, -epr-prob, -seed,
-// -reps, -circuit, -batches, -batch-size.
+// -reps, -workers, -circuit, -batches, -batch-size. Simulation tasks fan
+// out to -workers goroutines (default: all CPUs); results are identical
+// for any worker count, and -workers 1 forces sequential execution.
 package main
 
 import (
@@ -56,6 +58,7 @@ func run(args []string) error {
 		eprProb   = fs.Float64("epr-prob", 0.3, "EPR generation success probability")
 		seed      = fs.Int64("seed", 1, "experiment seed")
 		reps      = fs.Int("reps", 3, "simulation repetitions to average")
+		workers   = fs.Int("workers", 0, "parallel experiment workers (0 = all CPUs, 1 = sequential)")
 		circuit   = fs.String("circuit", "knn_n67", "benchmark circuit name")
 		batches   = fs.Int("batches", 5, "multi-tenant batches per method")
 		batchSize = fs.Int("batch-size", 20, "jobs per batch")
@@ -66,6 +69,7 @@ func run(args []string) error {
 	o := exp.Options{
 		QPUs: *qpus, EdgeProb: *edgeProb, Computing: *computing,
 		Comm: *comm, EPRProb: *eprProb, Seed: *seed, Reps: *reps,
+		Workers: *workers,
 	}
 
 	switch cmd {

@@ -1,0 +1,3 @@
+module cloudqc
+
+go 1.24

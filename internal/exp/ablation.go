@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
@@ -19,7 +18,10 @@ import (
 // Ablations probe the design choices DESIGN.md calls out: the
 // imbalance-factor sweep in placement, the batch manager's ordering,
 // congestion-aware multipath routing, and purification overhead under
-// link-fidelity constraints.
+// link-fidelity constraints. Like every experiment in this package,
+// independent tasks fan out to the worker pool; the compared
+// configurations share RNG streams (see runner.go) so each ablation
+// isolates its design knob.
 
 // AblationImbalance compares CloudQC placement restricted to a single
 // imbalance factor against the full Algorithm 1 sweep, by communication
@@ -32,28 +34,34 @@ func AblationImbalance(o Options, circuitName string) (SweepSeries, error) {
 		return SweepSeries{}, err
 	}
 	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
-	cl := cloud.New(topo, o.Computing, o.Comm)
-	s := SweepSeries{Method: "CloudQC"}
 	alphas := place.DefaultConfig().ImbalanceFactors
+	configs := make([]place.Config, 0, len(alphas)+1)
 	for _, alpha := range alphas {
 		cfg := place.DefaultConfig()
 		cfg.ImbalanceFactors = []float64{alpha}
 		cfg.Seed = o.Seed
-		pl, err := place.NewCloudQC(cfg).Place(cl, c)
-		if err != nil {
-			return SweepSeries{}, fmt.Errorf("ablation imbalance α=%v: %w", alpha, err)
-		}
-		s.X = append(s.X, alpha)
-		s.Y = append(s.Y, place.CommCost(c, cl, pl.QubitToQPU))
+		configs = append(configs, cfg)
 	}
 	full := place.DefaultConfig()
 	full.Seed = o.Seed
-	pl, err := place.NewCloudQC(full).Place(cl, c)
+	configs = append(configs, full)
+	costs, err := runIndexed(o.workers(), len(configs), func(i int) (float64, error) {
+		cl := cloud.New(topo, o.Computing, o.Comm)
+		pl, err := place.NewCloudQC(configs[i]).Place(cl, c)
+		if err != nil {
+			if i < len(alphas) {
+				return 0, fmt.Errorf("ablation imbalance α=%v: %w", alphas[i], err)
+			}
+			return 0, err
+		}
+		return place.CommCost(c, cl, pl.QubitToQPU), nil
+	})
 	if err != nil {
 		return SweepSeries{}, err
 	}
+	s := SweepSeries{Method: "CloudQC", Y: costs}
+	s.X = append(s.X, alphas...)
 	s.X = append(s.X, -1) // sentinel: full sweep
-	s.Y = append(s.Y, place.CommCost(c, cl, pl.QubitToQPU))
 	return s, nil
 }
 
@@ -67,45 +75,55 @@ type AblationOrderRow struct {
 // AblationBatchOrder compares the batch manager's ascending-intensity
 // order (shortest estimated job first) against FIFO submission order on
 // a sampled batch, isolating the ordering decision (same placement,
-// same policy).
+// same policy, same per-rep job streams).
 func AblationBatchOrder(o Options, w workload.Workload, batchSize int) ([]AblationOrderRow, error) {
 	o = o.withDefaults()
 	if batchSize <= 0 {
 		batchSize = 12
 	}
-	var rows []AblationOrderRow
-	for _, mode := range []struct {
+	modes := []struct {
 		name string
 		mode core.Mode
 	}{
 		{name: "intensity-asc", mode: core.BatchMode},
 		{name: "fifo", mode: core.FIFOMode},
-	} {
+	}
+	batchJCTs, err := runIndexed(o.workers(), len(modes)*o.Reps, func(i int) ([]float64, error) {
+		mi, b := i/o.Reps, i%o.Reps
+		seed := taskSeed(o.Seed, 0, b) // shared across modes: paired batches
+		jobs, err := w.Batch(batchSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := core.NewController(core.Config{
+			Cloud: o.cloudFor(),
+			Model: o.model(),
+			Mode:  modes[mi].mode,
+			Seed:  seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		results, err := ct.Run(jobs)
+		if err != nil {
+			return nil, err
+		}
+		var jcts []float64
+		for _, r := range results {
+			if !r.Failed {
+				jcts = append(jcts, r.JCT)
+			}
+		}
+		return jcts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationOrderRow
+	for mi, mode := range modes {
 		var jcts []float64
 		for b := 0; b < o.Reps; b++ {
-			seed := o.Seed + int64(b)*2657
-			jobs, err := w.Batch(batchSize, seed)
-			if err != nil {
-				return nil, err
-			}
-			ct, err := core.NewController(core.Config{
-				Cloud: o.cloudFor(),
-				Model: o.model(),
-				Mode:  mode.mode,
-				Seed:  seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			results, err := ct.Run(jobs)
-			if err != nil {
-				return nil, err
-			}
-			for _, r := range results {
-				if !r.Failed {
-					jcts = append(jcts, r.JCT)
-				}
-			}
+			jcts = append(jcts, batchJCTs[mi*o.Reps+b]...)
 		}
 		rows = append(rows, AblationOrderRow{
 			Order:   mode.name,
@@ -141,19 +159,22 @@ func AblationMultipath(o Options, circuitName string, ks []int) (SweepSeries, er
 		return SweepSeries{}, err
 	}
 	dag := sched.BuildRemoteDAG(c, cl, pl.QubitToQPU, o.model().Latency)
-	s := SweepSeries{Method: "CloudQC"}
-	for _, k := range ks {
-		var jcts []float64
-		for rep := 0; rep < o.Reps; rep++ {
-			rng := rand.New(rand.NewSource(o.Seed + int64(rep)*7919))
-			res, err := sched.RunMultipath(dag, cl, o.model(), sched.CloudQCPolicy{}, rng, k)
-			if err != nil {
-				return SweepSeries{}, err
-			}
-			jcts = append(jcts, res.JCT)
+	flat, err := runIndexed(o.workers(), len(ks)*o.Reps, func(i int) (float64, error) {
+		ki, rep := i/o.Reps, i%o.Reps
+		// Shared across k: every path budget replays the same streams.
+		rng := taskRNG(o.Seed, 0, rep)
+		res, err := sched.RunMultipath(dag, cl, o.model(), sched.CloudQCPolicy{}, rng, ks[ki])
+		if err != nil {
+			return 0, err
 		}
+		return res.JCT, nil
+	})
+	if err != nil {
+		return SweepSeries{}, err
+	}
+	s := SweepSeries{Method: "CloudQC", Y: meanPerPoint(flat, len(ks), o.Reps)}
+	for _, k := range ks {
 		s.X = append(s.X, float64(k))
-		s.Y = append(s.Y, stats.Mean(jcts))
 	}
 	return s, nil
 }
@@ -183,22 +204,21 @@ func AblationFidelity(o Options, circuitName string, fidelities []float64, thres
 		return SweepSeries{}, err
 	}
 	dag := sched.BuildRemoteDAG(c, cl, pl.QubitToQPU, o.model().Latency)
-	s := SweepSeries{Method: "CloudQC"}
-	for _, lf := range fidelities {
-		fm := epr.FidelityModel{Model: o.model(), LinkFidelity: lf, Threshold: threshold}
-		var jcts []float64
-		for rep := 0; rep < o.Reps; rep++ {
-			rng := rand.New(rand.NewSource(o.Seed + int64(rep)*104729))
-			res, err := sched.RunFidelity(dag, cl, fm, sched.CloudQCPolicy{}, rng)
-			if err != nil {
-				return SweepSeries{}, fmt.Errorf("ablation fidelity %v: %w", lf, err)
-			}
-			jcts = append(jcts, res.JCT)
+	flat, err := runIndexed(o.workers(), len(fidelities)*o.Reps, func(i int) (float64, error) {
+		fi, rep := i/o.Reps, i%o.Reps
+		fm := epr.FidelityModel{Model: o.model(), LinkFidelity: fidelities[fi], Threshold: threshold}
+		// Shared across fidelities: the sweep isolates purification cost.
+		rng := taskRNG(o.Seed, 0, rep)
+		res, err := sched.RunFidelity(dag, cl, fm, sched.CloudQCPolicy{}, rng)
+		if err != nil {
+			return 0, fmt.Errorf("ablation fidelity %v: %w", fidelities[fi], err)
 		}
-		s.X = append(s.X, lf)
-		s.Y = append(s.Y, stats.Mean(jcts))
+		return res.JCT, nil
+	})
+	if err != nil {
+		return SweepSeries{}, err
 	}
-	return s, nil
+	return SweepSeries{Method: "CloudQC", X: fidelities, Y: meanPerPoint(flat, len(fidelities), o.Reps)}, nil
 }
 
 // IncomingRow summarizes the incoming-job (sequential arrival) mode at
@@ -210,9 +230,17 @@ type IncomingRow struct {
 	PeakUtilization  float64
 }
 
+// incomingRep is one (arrival rate × rep) task's raw outcome.
+type incomingRep struct {
+	jcts, waits []float64
+	peak        float64
+}
+
 // IncomingMode evaluates the paper's sequential-arrival mode: jobs
 // arrive as a Poisson process and are placed FIFO; faster arrivals mean
-// more queueing and higher utilization.
+// more queueing and higher utilization. Arrival rates share per-rep
+// streams, so each row sees the same job population at different
+// spacings.
 func IncomingMode(o Options, w workload.Workload, size int, interarrivals []float64) ([]IncomingRow, error) {
 	o = o.withDefaults()
 	if size <= 0 {
@@ -221,40 +249,52 @@ func IncomingMode(o Options, w workload.Workload, size int, interarrivals []floa
 	if len(interarrivals) == 0 {
 		interarrivals = []float64{500, 2000, 8000}
 	}
+	reps, err := runIndexed(o.workers(), len(interarrivals)*o.Reps, func(i int) (incomingRep, error) {
+		ii, rep := i/o.Reps, i%o.Reps
+		seed := taskSeed(o.Seed, 0, rep)
+		jobs, err := w.PoissonBatch(size, interarrivals[ii], seed)
+		if err != nil {
+			return incomingRep{}, err
+		}
+		rec := metricsRecorder()
+		ct, err := core.NewController(core.Config{
+			Cloud:    o.cloudFor(),
+			Model:    o.model(),
+			Mode:     core.FIFOMode,
+			Seed:     seed,
+			Recorder: rec,
+		})
+		if err != nil {
+			return incomingRep{}, err
+		}
+		results, err := ct.Run(jobs)
+		if err != nil {
+			return incomingRep{}, err
+		}
+		var r incomingRep
+		for _, res := range results {
+			if res.Failed {
+				continue
+			}
+			r.jcts = append(r.jcts, res.JCT)
+			r.waits = append(r.waits, res.WaitTime)
+		}
+		r.peak = rec.PeakUtilization()
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []IncomingRow
-	for _, ia := range interarrivals {
+	for ii, ia := range interarrivals {
 		var jcts, waits []float64
 		peak := 0.0
 		for rep := 0; rep < o.Reps; rep++ {
-			seed := o.Seed + int64(rep)*6151
-			jobs, err := w.PoissonBatch(size, ia, seed)
-			if err != nil {
-				return nil, err
-			}
-			rec := metricsRecorder()
-			ct, err := core.NewController(core.Config{
-				Cloud:    o.cloudFor(),
-				Model:    o.model(),
-				Mode:     core.FIFOMode,
-				Seed:     seed,
-				Recorder: rec,
-			})
-			if err != nil {
-				return nil, err
-			}
-			results, err := ct.Run(jobs)
-			if err != nil {
-				return nil, err
-			}
-			for _, r := range results {
-				if r.Failed {
-					continue
-				}
-				jcts = append(jcts, r.JCT)
-				waits = append(waits, r.WaitTime)
-			}
-			if p := rec.PeakUtilization(); p > peak {
-				peak = p
+			r := reps[ii*o.Reps+rep]
+			jcts = append(jcts, r.jcts...)
+			waits = append(waits, r.waits...)
+			if r.peak > peak {
+				peak = r.peak
 			}
 		}
 		rows = append(rows, IncomingRow{

@@ -3,6 +3,13 @@
 // renderer producing the aligned text tables that EXPERIMENTS.md and the
 // cloudqc CLI print.
 //
+// Experiments decompose into independent (sweep point × repetition)
+// simulation tasks that run on a bounded worker pool (see runner.go).
+// Options.Workers bounds the pool; every task seeds its own RNG from
+// (Options.Seed, point index, rep), so for a fixed Seed the output is
+// bit-identical at any worker count — Workers: 1 reproduces a plain
+// sequential loop.
+//
 // Defaults follow the paper: 20 QPUs, random topology with edge
 // probability 0.3, 20 computing and 5 communication qubits per QPU, EPR
 // success probability 0.3, Table I latencies.
@@ -32,6 +39,10 @@ type Options struct {
 	// Reps averages stochastic simulations over this many runs
 	// (default 3).
 	Reps int
+	// Workers bounds the experiment worker pool. 0 (the zero value)
+	// means one worker per available CPU; 1 runs tasks sequentially.
+	// Results are identical for any value — only wall-clock changes.
+	Workers int
 }
 
 // Defaults returns the paper's evaluation setting.
@@ -56,7 +67,10 @@ func (o Options) withDefaults() Options {
 	if o.EPRProb == 0 {
 		o.EPRProb = d.EPRProb
 	}
-	if o.Reps == 0 {
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Reps <= 0 {
 		o.Reps = d.Reps
 	}
 	return o
@@ -94,30 +108,46 @@ type SweepSeries struct {
 }
 
 // RenderSweep renders sweep series as a table: one row per X value, one
-// column per method.
+// column per method. Rows cover the longest series' x-axis and cells are
+// matched by X value, so a series missing a point (e.g. one method
+// skipping part of a sweep) renders `-` there instead of panicking or
+// misattributing a neighbouring point's value.
 func RenderSweep(xLabel string, series []SweepSeries) string {
 	if len(series) == 0 {
 		return ""
 	}
 	headers := []string{xLabel}
-	for _, s := range series {
+	longest := 0
+	for si, s := range series {
 		headers = append(headers, s.Method)
+		if len(s.X) > len(series[longest].X) {
+			longest = si
+		}
 	}
 	var rows [][]string
-	for i := range series[0].X {
-		row := []string{fmtX(series[0].X[i])}
+	for _, x := range series[longest].X {
+		row := []string{fmtX(x)}
 		for _, s := range series {
-			row = append(row, stats.F(s.Y[i]))
+			cell := "-"
+			for j, sx := range s.X {
+				if sx == x {
+					cell = stats.F(s.Y[j])
+					break
+				}
+			}
+			row = append(row, cell)
 		}
 		rows = append(rows, row)
 	}
 	return stats.Table(headers, rows)
 }
 
-// fmtX formats sweep x-values: probabilities (sub-1 values) keep two
-// decimals so 0.15 and 0.1 stay distinct.
+// fmtX formats sweep x-values: probabilities (values strictly between 0
+// and 1) keep two decimals so 0.15 and 0.1 stay distinct; everything
+// else — including negative sentinels like the ablation sweep's -1 —
+// uses the compact default.
 func fmtX(x float64) string {
-	if x != 0 && x < 1 {
+	if x > 0 && x < 1 {
 		return fmt.Sprintf("%.2f", x)
 	}
 	return stats.F(x)

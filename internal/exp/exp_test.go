@@ -198,6 +198,84 @@ func TestWithDefaultsFillsZeroFields(t *testing.T) {
 	}
 }
 
+func TestWithDefaultsBackfillsSeed(t *testing.T) {
+	// A zero-valued Options must run with the documented default seed,
+	// not silently with seed 0.
+	o := Options{}.withDefaults()
+	if o.Seed != Defaults().Seed {
+		t.Fatalf("Seed = %d, want default %d", o.Seed, Defaults().Seed)
+	}
+	if o.Workers != 0 {
+		t.Fatalf("Workers = %d, want 0 (resolved to CPU count at run time)", o.Workers)
+	}
+}
+
+func TestFmtXSentinel(t *testing.T) {
+	cases := map[float64]string{
+		-1:   "-1",
+		0:    "0",
+		0.15: "0.15",
+		0.1:  "0.10",
+		1:    "1",
+		5:    "5",
+	}
+	for x, want := range cases {
+		if got := fmtX(x); got != want {
+			t.Errorf("fmtX(%v) = %q, want %q", x, got, want)
+		}
+	}
+}
+
+func TestRenderSweepRaggedSeries(t *testing.T) {
+	// One method missing part of the sweep must not panic; its missing
+	// cells render as "-".
+	s := []SweepSeries{
+		{Method: "Short", X: []float64{1}, Y: []float64{10}},
+		{Method: "Full", X: []float64{1, 2}, Y: []float64{30, 40}},
+	}
+	out := RenderSweep("x", s)
+	if !strings.Contains(out, "40") || !strings.Contains(out, "-") {
+		t.Fatalf("ragged render:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("want header + rule + 2 rows:\n%s", out)
+	}
+}
+
+func TestRenderSweepAlignsByXValue(t *testing.T) {
+	// A mid-sweep gap must leave "-" in the gap row, not shift later
+	// values onto the wrong x.
+	s := []SweepSeries{
+		{Method: "Gappy", X: []float64{1, 3}, Y: []float64{10, 30}},
+		{Method: "Full", X: []float64{1, 2, 3}, Y: []float64{70, 80, 90}},
+	}
+	lines := strings.Split(strings.TrimSpace(RenderSweep("x", s)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want header + rule + 3 rows:\n%v", lines)
+	}
+	for _, want := range []struct{ row, cells string }{
+		{lines[2], "1  10  70"},
+		{lines[3], "2  -  80"},
+		{lines[4], "3  30  90"},
+	} {
+		if strings.Join(strings.Fields(want.row), "  ") != want.cells {
+			t.Errorf("row %q, want cells %q", want.row, want.cells)
+		}
+	}
+}
+
+func TestNegativeRepsFallBackToDefault(t *testing.T) {
+	// A negative -reps must not panic the experiment engine (it used to
+	// reach make([]T, n) with n < 0); it degrades to the default.
+	o := Options{Reps: -1}.withDefaults()
+	if o.Reps != Defaults().Reps {
+		t.Fatalf("Reps = %d, want default %d", o.Reps, Defaults().Reps)
+	}
+	if _, err := runIndexed(4, -3, func(int) (int, error) { return 0, nil }); err != nil {
+		t.Fatalf("negative n should be a no-op, got %v", err)
+	}
+}
+
 func TestRenderSweepLayout(t *testing.T) {
 	s := []SweepSeries{
 		{Method: "A", X: []float64{1, 2}, Y: []float64{10, 20}},

@@ -36,33 +36,47 @@ func MultiTenantCDF(o Options, w workload.Workload, batches, batchSize int) ([]C
 	if batchSize <= 0 {
 		batchSize = 20
 	}
+	methods := MultiTenantMethods()
+	// One task per (method × batch). Batch b is repetition b of the
+	// experiment: its seed drives workload sampling and controller
+	// simulation alike, shared across methods so all three variants face
+	// identical job streams (the CDF comparison is paired).
+	batchJCTs, err := runIndexed(o.workers(), len(methods)*batches, func(i int) ([]float64, error) {
+		mi, b := i/batches, i%batches
+		seed := taskSeed(o.Seed, 0, b)
+		jobs, err := w.Batch(batchSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := methodConfig(methods[mi], o, seed)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := core.NewController(cfg)
+		if err != nil {
+			return nil, err
+		}
+		results, err := ct.Run(jobs)
+		if err != nil {
+			return nil, fmt.Errorf("multitenant %s batch %d: %w", methods[mi], b, err)
+		}
+		var jcts []float64
+		for _, r := range results {
+			if r.Failed {
+				continue
+			}
+			jcts = append(jcts, r.JCT)
+		}
+		return jcts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []CDFSeries
-	for _, method := range MultiTenantMethods() {
+	for mi, method := range methods {
 		var jcts []float64
 		for b := 0; b < batches; b++ {
-			seed := o.Seed + int64(b)*104729
-			jobs, err := w.Batch(batchSize, seed)
-			if err != nil {
-				return nil, err
-			}
-			cfg, err := methodConfig(method, o, seed)
-			if err != nil {
-				return nil, err
-			}
-			ct, err := core.NewController(cfg)
-			if err != nil {
-				return nil, err
-			}
-			results, err := ct.Run(jobs)
-			if err != nil {
-				return nil, fmt.Errorf("multitenant %s batch %d: %w", method, b, err)
-			}
-			for _, r := range results {
-				if r.Failed {
-					continue
-				}
-				jcts = append(jcts, r.JCT)
-			}
+			jcts = append(jcts, batchJCTs[mi*batches+b]...)
 		}
 		out = append(out, CDFSeries{Method: method, Points: stats.ECDF(jcts), JCTs: jcts})
 	}

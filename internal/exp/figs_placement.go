@@ -21,7 +21,10 @@ func OverheadCircuits() []string {
 
 // OverheadVsCapacity regenerates one of Figs. 6-9: communication
 // overhead (Σ D_ij·C_ij) of every placement method as the per-QPU
-// computing qubit count varies.
+// computing qubit count varies. Every (method × capacity) placement is
+// an independent worker-pool task with its own placer and cloud;
+// placements are deterministic in Options.Seed, so no per-rep streams
+// are involved.
 func OverheadVsCapacity(o Options, circuitName string, capacities []int) ([]SweepSeries, error) {
 	o = o.withDefaults()
 	if len(capacities) == 0 {
@@ -31,21 +34,33 @@ func OverheadVsCapacity(o Options, circuitName string, capacities []int) ([]Swee
 	if err != nil {
 		return nil, err
 	}
+	feasible := capacities[:0:0]
+	for _, cap := range capacities {
+		if cap*o.QPUs >= c.NumQubits() {
+			feasible = append(feasible, cap) // else the circuit cannot fit this cloud at all
+		}
+	}
 	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
-	series := make([]SweepSeries, 0, 5)
-	for _, p := range placersFor(o) {
+	nMethods := len(placersFor(o))
+	costs, err := runIndexed(o.workers(), nMethods*len(feasible), func(i int) (float64, error) {
+		pi, ci := i/len(feasible), i%len(feasible)
+		p := placersFor(o)[pi] // fresh placer per task: SA/GA/Random hold internal RNG state
+		cl := cloud.New(topo, feasible[ci], o.Comm)
+		pl, err := p.Place(cl, c)
+		if err != nil {
+			return 0, fmt.Errorf("overhead sweep: %s at capacity %d: %w", p.Name(), feasible[ci], err)
+		}
+		return place.CommCost(c, cl, pl.QubitToQPU), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]SweepSeries, 0, nMethods)
+	for pi, p := range placersFor(o) {
 		s := SweepSeries{Method: p.Name()}
-		for _, cap := range capacities {
-			if cap*o.QPUs < c.NumQubits() {
-				continue // circuit cannot fit this cloud at all
-			}
-			cl := cloud.New(topo, cap, o.Comm)
-			pl, err := p.Place(cl, c)
-			if err != nil {
-				return nil, fmt.Errorf("overhead sweep: %s at capacity %d: %w", p.Name(), cap, err)
-			}
+		for ci, cap := range feasible {
 			s.X = append(s.X, float64(cap))
-			s.Y = append(s.Y, place.CommCost(c, cl, pl.QubitToQPU))
+			s.Y = append(s.Y, costs[pi*len(feasible)+ci])
 		}
 		series = append(series, s)
 	}

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/epr"
@@ -60,24 +59,50 @@ func newSchedFixture(o Options, circuitName string) (*schedFixture, error) {
 	return &schedFixture{topo: topo, circ: circuitName, assign: pl.QubitToQPU}, nil
 }
 
-// meanJCT runs the fixture's remote DAG under one policy on a cloud with
-// the given comm qubits and EPR probability, averaged over o.Reps seeds.
-func (f *schedFixture) meanJCT(o Options, p sched.Policy, comm int, prob float64) (float64, error) {
+// pointFixture is the per-sweep-point simulation input: the cloud under
+// test and the fixture's remote DAG contracted against it. Both are
+// read-only under sched.Run, so concurrent tasks share one fixture.
+type pointFixture struct {
+	cl  *cloud.Cloud
+	dag *sched.RemoteDAG
+	m   epr.Model
+}
+
+// pointFor contracts the fixture's circuit for one (comm, prob) setting.
+func (f *schedFixture) pointFor(o Options, comm int, prob float64) pointFixture {
 	c := qlib.MustBuild(f.circ)
 	cl := cloud.New(f.topo, o.Computing, comm)
 	m := epr.DefaultModel()
 	m.SuccessProb = prob
-	dag := sched.BuildRemoteDAG(c, cl, f.assign, m.Latency)
-	var jcts []float64
-	for rep := 0; rep < o.Reps; rep++ {
-		rng := rand.New(rand.NewSource(o.Seed + int64(rep)*7919))
-		res, err := sched.Run(dag, cl, m, p, rng)
+	return pointFixture{cl: cl, dag: sched.BuildRemoteDAG(c, cl, f.assign, m.Latency), m: m}
+}
+
+// policyJCTs fans every (policy × point × rep) simulation out to the
+// worker pool and returns the per-policy mean JCT per point. Seeds
+// derive from (Seed, point, rep) only — policies share streams so the
+// comparison is paired.
+func policyJCTs(o Options, points []pointFixture) ([][]float64, error) {
+	policies := SchedPolicies()
+	nPts, reps := len(points), o.Reps
+	flat, err := runIndexed(o.workers(), len(policies)*nPts*reps, func(i int) (float64, error) {
+		rep := i % reps
+		pt := (i / reps) % nPts
+		pi := i / (reps * nPts)
+		f := points[pt]
+		res, err := sched.Run(f.dag, f.cl, f.m, policies[pi], taskRNG(o.Seed, pt, rep))
 		if err != nil {
 			return 0, err
 		}
-		jcts = append(jcts, res.JCT)
+		return res.JCT, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return stats.Mean(jcts), nil
+	perPolicy := make([][]float64, len(policies))
+	for pi := range policies {
+		perPolicy[pi] = meanPerPoint(flat[pi*nPts*reps:(pi+1)*nPts*reps], nPts, reps)
+	}
+	return perPolicy, nil
 }
 
 // JCTVsCommQubits regenerates one of Figs. 10-13: mean job completion
@@ -91,16 +116,21 @@ func JCTVsCommQubits(o Options, circuitName string, comm []int) ([]SweepSeries, 
 	if err != nil {
 		return nil, err
 	}
+	points, err := runIndexed(o.workers(), len(comm), func(i int) (pointFixture, error) {
+		return f.pointFor(o, comm[i], o.EPRProb), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	means, err := policyJCTs(o, points)
+	if err != nil {
+		return nil, err
+	}
 	var series []SweepSeries
-	for _, p := range SchedPolicies() {
-		s := SweepSeries{Method: p.Name()}
+	for pi, p := range SchedPolicies() {
+		s := SweepSeries{Method: p.Name(), Y: means[pi]}
 		for _, cq := range comm {
-			jct, err := f.meanJCT(o, p, cq, o.EPRProb)
-			if err != nil {
-				return nil, err
-			}
 			s.X = append(s.X, float64(cq))
-			s.Y = append(s.Y, jct)
 		}
 		series = append(series, s)
 	}
@@ -118,18 +148,19 @@ func JCTVsEPRProb(o Options, circuitName string, probs []float64) ([]SweepSeries
 	if err != nil {
 		return nil, err
 	}
+	points, err := runIndexed(o.workers(), len(probs), func(i int) (pointFixture, error) {
+		return f.pointFor(o, o.Comm, probs[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	means, err := policyJCTs(o, points)
+	if err != nil {
+		return nil, err
+	}
 	var series []SweepSeries
-	for _, p := range SchedPolicies() {
-		s := SweepSeries{Method: p.Name()}
-		for _, prob := range probs {
-			jct, err := f.meanJCT(o, p, o.Comm, prob)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, prob)
-			s.Y = append(s.Y, jct)
-		}
-		series = append(series, s)
+	for pi, p := range SchedPolicies() {
+		series = append(series, SweepSeries{Method: p.Name(), X: probs, Y: means[pi]})
 	}
 	return series, nil
 }
@@ -152,25 +183,34 @@ type Fig22Row struct {
 }
 
 // Fig22 regenerates the relative-JCT comparison of the four scheduling
-// policies at the default setting.
+// policies at the default setting. Placements (one per circuit) and
+// simulations (circuit × policy × rep, each circuit acting as one sweep
+// point) both run on the worker pool.
 func Fig22(o Options, circuits []string) ([]Fig22Row, error) {
 	o = o.withDefaults()
 	if len(circuits) == 0 {
 		circuits = Fig22Circuits()
 	}
-	var rows []Fig22Row
-	for _, name := range circuits {
-		f, err := newSchedFixture(o, name)
+	points, err := runIndexed(o.workers(), len(circuits), func(ci int) (pointFixture, error) {
+		f, err := newSchedFixture(o, circuits[ci])
 		if err != nil {
-			return nil, err
+			return pointFixture{}, err
 		}
+		return f.pointFor(o, o.Comm, o.EPRProb), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	means, err := policyJCTs(o, points)
+	if err != nil {
+		return nil, err
+	}
+	policies := SchedPolicies()
+	var rows []Fig22Row
+	for ci, name := range circuits {
 		abs := map[string]float64{}
-		for _, p := range SchedPolicies() {
-			jct, err := f.meanJCT(o, p, o.Comm, o.EPRProb)
-			if err != nil {
-				return nil, err
-			}
-			abs[p.Name()] = jct
+		for pi, p := range policies {
+			abs[p.Name()] = means[pi][ci]
 		}
 		base := abs["CloudQC"]
 		row := Fig22Row{Circuit: name, Relative: map[string]float64{}}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the experiment engine shared by every table/figure
+// generator in the package: a bounded worker pool over independent
+// (sweep point × repetition) simulation tasks, with per-task RNG seeds
+// derived purely from (Options.Seed, point index, rep). Because no task
+// reads another task's RNG stream and every result lands in its own
+// slot, output is bit-identical for any worker count.
+//
+// Seeding convention: the "point" index separates streams along swept
+// axes (communication qubits, EPR probability, arrival rate, batch
+// index, circuit row, ...) while the dimensions an experiment *compares*
+// (scheduling policy, framework variant, batch ordering, execution plan)
+// deliberately share a stream, so paired tasks see identical stochastic
+// inputs and their difference isolates the design choice under test.
+
+// workers resolves the Workers knob: positive values are used as-is; the
+// zero value means one worker per available CPU.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// taskSeed derives the RNG seed for the (point, rep) task of an
+// experiment with the given base seed. A SplitMix64-style finalizer
+// decorrelates neighbouring points and reps, and the value depends only
+// on the three inputs — never on scheduling order or worker count.
+func taskSeed(seed int64, point, rep int) int64 {
+	z := uint64(seed)
+	z += 0x9e3779b97f4a7c15 * uint64(point+1)
+	z += 0xc2b2ae3d27d4eb4f * uint64(rep+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// taskRNG returns the rand stream for one (point, rep) task.
+func taskRNG(seed int64, point, rep int) *rand.Rand {
+	return rand.New(rand.NewSource(taskSeed(seed, point, rep)))
+}
+
+// runIndexed runs fn(0), ..., fn(n-1) across at most workers goroutines
+// and returns the results in index order. The output depends only on fn
+// and n, not on workers or goroutine scheduling: each task writes its
+// own slot, and on failure the error with the lowest task index wins —
+// the same error a sequential loop would hit first. Only tasks indexed
+// above the lowest failure seen so far may be skipped, so the winning
+// task always runs and the returned error is stable at any worker
+// count.
+func runIndexed[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next, minErr atomic.Int64
+	minErr.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int64(next.Add(1)) - 1
+				if i >= int64(n) {
+					return
+				}
+				if i > minErr.Load() {
+					continue // a lower-indexed task already failed; drain
+				}
+				v, err := fn(int(i))
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := minErr.Load()
+						if i >= cur || minErr.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// meanPerPoint collapses a flat [point][rep] task-result grid (rep
+// fastest-varying) to one mean per point.
+func meanPerPoint(flat []float64, points, reps int) []float64 {
+	means := make([]float64, points)
+	for p := 0; p < points; p++ {
+		var sum float64
+		for r := 0; r < reps; r++ {
+			sum += flat[p*reps+r]
+		}
+		means[p] = sum / float64(reps)
+	}
+	return means
+}

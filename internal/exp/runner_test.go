@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cloudqc/internal/workload"
+)
+
+func TestTaskSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64][2]int{}
+	for point := 0; point < 16; point++ {
+		for rep := 0; rep < 16; rep++ {
+			s := taskSeed(1, point, rep)
+			if s != taskSeed(1, point, rep) {
+				t.Fatalf("taskSeed(1, %d, %d) not deterministic", point, rep)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) -> %d", point, rep, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int{point, rep}
+		}
+	}
+	if taskSeed(1, 0, 0) == taskSeed(2, 0, 0) {
+		t.Fatal("base seed should change task seeds")
+	}
+}
+
+func TestRunIndexedMatchesSequential(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	want, err := runIndexed(1, 100, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7, 64} {
+		got, err := runIndexed(workers, 100, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: %v != %v", workers, got, want)
+		}
+	}
+}
+
+func TestRunIndexedFirstErrorWins(t *testing.T) {
+	fn := func(i int) (int, error) {
+		if i >= 17 {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4, 32} {
+		_, err := runIndexed(workers, 100, fn)
+		if err == nil || err.Error() != "task 17 failed" {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+	}
+	if _, err := runIndexed(8, 0, func(int) (int, error) { return 0, errors.New("never") }); err != nil {
+		t.Fatalf("n=0 should be a no-op, got %v", err)
+	}
+}
+
+// TestParallelSweepDeterministic is the tentpole's acceptance test: for
+// a fixed Seed, a representative stochastic sweep is bit-identical at
+// any worker count.
+func TestParallelSweepDeterministic(t *testing.T) {
+	base := fastOpts()
+	base.Reps = 2
+	run := func(workers int) []SweepSeries {
+		o := base
+		o.Workers = workers
+		series, err := JCTVsCommQubits(o, "qugan_n111", []int{5, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d diverges from sequential:\n%v\nvs\n%v", workers, got, want)
+		}
+	}
+}
+
+// TestParallelMultiTenantDeterministic covers the controller-driven
+// path: batches sampled and simulated on the pool must pool into the
+// same per-method JCT streams at any worker count.
+func TestParallelMultiTenantDeterministic(t *testing.T) {
+	base := fastOpts()
+	run := func(workers int) []CDFSeries {
+		o := base
+		o.Workers = workers
+		series, err := MultiTenantCDF(o, workload.Qugan(), 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}
+	want := run(1)
+	if got := run(6); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Workers=6 diverges from sequential:\n%v\nvs\n%v", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"cloudqc/internal/circuit"
 	"cloudqc/internal/place"
 	"cloudqc/internal/qlib"
 	"cloudqc/internal/stats"
@@ -92,26 +93,39 @@ func placersFor(o Options) []place.Placer {
 }
 
 // Table3 regenerates Table III: single-circuit placement remote-op
-// counts for every method over the benchmark set.
+// counts for every method over the benchmark set. Every (circuit ×
+// method) placement runs as an independent worker-pool task with its
+// own placer and cloud; placements are deterministic in Options.Seed.
 func Table3(o Options, circuits []string) ([]Table3Row, error) {
 	o = o.withDefaults()
 	if len(circuits) == 0 {
 		circuits = Table3Circuits()
 	}
-	var rows []Table3Row
-	for _, name := range circuits {
-		c, err := qlib.Build(name)
+	built, err := runIndexed(o.workers(), len(circuits), func(ci int) (*circuit.Circuit, error) {
+		return qlib.Build(circuits[ci])
+	})
+	if err != nil {
+		return nil, err
+	}
+	nMethods := len(placersFor(o))
+	remote, err := runIndexed(o.workers(), len(circuits)*nMethods, func(i int) (int, error) {
+		ci, pi := i/nMethods, i%nMethods
+		p := placersFor(o)[pi] // fresh placer per task: SA/GA/Random hold internal RNG state
+		cl := o.cloudFor()     // fresh reservations per method
+		pl, err := p.Place(cl, built[ci])
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("table3: %s on %s: %w", p.Name(), circuits[ci], err)
 		}
+		return place.RemoteOps(built[ci], pl.QubitToQPU), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for ci, name := range circuits {
 		row := Table3Row{Circuit: name, Remote: map[string]int{}}
-		for _, p := range placersFor(o) {
-			cl := o.cloudFor() // fresh reservations per method
-			pl, err := p.Place(cl, c)
-			if err != nil {
-				return nil, fmt.Errorf("table3: %s on %s: %w", p.Name(), name, err)
-			}
-			row.Remote[p.Name()] = place.RemoteOps(c, pl.QubitToQPU)
+		for pi, p := range placersFor(o) {
+			row.Remote[p.Name()] = remote[ci*nMethods+pi]
 		}
 		rows = append(rows, row)
 	}

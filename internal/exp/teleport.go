@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/graph"
@@ -32,8 +31,17 @@ func TeleportCircuits() []string {
 	return []string{"qft_n63", "adder_n64", "swap_test_n115", "multiplier_n45"}
 }
 
+// teleportPlans holds one circuit's two execution DAGs.
+type teleportPlans struct {
+	static, plan *sched.RemoteDAG
+	teleports    int
+}
+
 // TeleportComparison evaluates the teleportation extension: same
-// CloudQC placement, same scheduler, two execution plans.
+// CloudQC placement, same scheduler, two execution plans. Placements
+// (one per circuit) and simulations (circuit × plan × rep) fan out to
+// the worker pool; the two plans of a circuit share per-rep streams so
+// their JCT ratio isolates the execution strategy.
 func TeleportComparison(o Options, circuits []string) ([]TeleportRow, error) {
 	o = o.withDefaults()
 	if len(circuits) == 0 {
@@ -41,51 +49,57 @@ func TeleportComparison(o Options, circuits []string) ([]TeleportRow, error) {
 	}
 	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
 	cl := cloud.New(topo, o.Computing, o.Comm)
-	cfg := place.DefaultConfig()
-	cfg.Seed = o.Seed
-	placer := place.NewCloudQC(cfg)
 	m := o.model()
 
-	meanJCT := func(d *sched.RemoteDAG) (float64, error) {
-		var jcts []float64
-		for rep := 0; rep < o.Reps; rep++ {
-			rng := rand.New(rand.NewSource(o.Seed + int64(rep)*7919))
-			res, err := sched.Run(d, cl, m, sched.CloudQCPolicy{}, rng)
-			if err != nil {
-				return 0, err
-			}
-			jcts = append(jcts, res.JCT)
-		}
-		return stats.Mean(jcts), nil
-	}
-
-	var rows []TeleportRow
-	for _, name := range circuits {
-		c, err := qlib.Build(name)
+	plans, err := runIndexed(o.workers(), len(circuits), func(ci int) (teleportPlans, error) {
+		c, err := qlib.Build(circuits[ci])
 		if err != nil {
-			return nil, err
+			return teleportPlans{}, err
 		}
-		pl, err := placer.Place(cl, c)
+		cfg := place.DefaultConfig()
+		cfg.Seed = o.Seed
+		pl, err := place.NewCloudQC(cfg).Place(cloud.New(topo, o.Computing, o.Comm), c)
 		if err != nil {
-			return nil, fmt.Errorf("teleport comparison: placing %s: %w", name, err)
+			return teleportPlans{}, fmt.Errorf("teleport comparison: placing %s: %w", circuits[ci], err)
 		}
 		static := sched.BuildRemoteDAG(c, cl, pl.QubitToQPU, m.Latency)
 		plan, st := sched.BuildMigratingDAG(c, cl, pl.QubitToQPU, m.Latency, sched.PlanOptions{})
-		sJCT, err := meanJCT(static)
-		if err != nil {
-			return nil, err
+		return teleportPlans{static: static, plan: plan, teleports: st.Teleports}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Flat (circuit × {static,plan} × rep) simulation grid; circuit ci is
+	// sweep point ci, and both plans replay its rep streams.
+	flat, err := runIndexed(o.workers(), len(circuits)*2*o.Reps, func(i int) (float64, error) {
+		rep := i % o.Reps
+		variant := (i / o.Reps) % 2
+		ci := i / (2 * o.Reps)
+		dag := plans[ci].static
+		if variant == 1 {
+			dag = plans[ci].plan
 		}
-		pJCT, err := meanJCT(plan)
+		res, err := sched.Run(dag, cl, m, sched.CloudQCPolicy{}, taskRNG(o.Seed, ci, rep))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return res.JCT, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	means := meanPerPoint(flat, len(circuits)*2, o.Reps)
+
+	var rows []TeleportRow
+	for ci, name := range circuits {
 		rows = append(rows, TeleportRow{
 			Circuit:     name,
-			StaticNodes: static.Len(),
-			PlanNodes:   plan.Len(),
-			Teleports:   st.Teleports,
-			StaticJCT:   sJCT,
-			PlanJCT:     pJCT,
+			StaticNodes: plans[ci].static.Len(),
+			PlanNodes:   plans[ci].plan.Len(),
+			Teleports:   plans[ci].teleports,
+			StaticJCT:   means[ci*2],
+			PlanJCT:     means[ci*2+1],
 		})
 	}
 	return rows, nil
