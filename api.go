@@ -213,6 +213,22 @@ func Intensity(c *Circuit) float64 {
 // (Mixed, QFT, Qugan, Arithmetic).
 func Workloads() []Workload { return workload.All() }
 
+// OnlineJobs samples an online ("incoming jobs") stream from a
+// workload: size jobs whose arrival times follow the named process —
+// "poisson" (exponential gaps), "uniform" (constant rate), or "bursty"
+// (synchronized groups) — at the given mean inter-arrival time in CX
+// units. Submit the result to a Cluster to simulate the online setting.
+func OnlineJobs(w Workload, process string, size int, meanInterarrival float64, seed int64) ([]*Job, error) {
+	return w.Arrivals(process, size, meanInterarrival, seed)
+}
+
+// AggregateOnline summarizes an online run's completed-job JCTs and
+// wait times, failed-job count, and makespan into throughput and
+// percentile statistics.
+func AggregateOnline(jcts, waits []float64, failed int, makespan float64) OnlineStats {
+	return metrics.AggregateOnline(jcts, waits, failed, makespan)
+}
+
 // MixedWorkload returns the mixed multi-tenant workload of Fig. 14.
 func MixedWorkload() Workload { return workload.Mixed() }
 

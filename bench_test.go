@@ -231,6 +231,59 @@ func BenchmarkIncomingMode(b *testing.B) {
 	}
 }
 
+// benchClusterOnline drives the multi-tenant controller over a sparse
+// Poisson job stream with the given loop implementation and reports the
+// scheduling rounds it executed. Comparing BenchmarkClusterOnline
+// against BenchmarkClusterOnlineLockStep shows the event-driven core
+// skipping the empty rounds the lock-step clock burns while active jobs
+// stall on local tails and the cloud waits between arrivals.
+func benchClusterOnline(b *testing.B, run func(*Cluster, []*Job) ([]*JobResult, error)) {
+	b.Helper()
+	const seed = 7
+	// Chain circuits (GHZ, cat): sparse remote DAGs whose gates sit far
+	// apart on long local stretches, so most EPRAttempt slots have no
+	// ready remote gate — the regime the lock-step clock handles worst.
+	sparse := Workload{Name: "SparseChains", Circuits: []string{"ghz_n127", "cat_n130"}}
+	var rounds, events float64
+	for i := 0; i < b.N; i++ {
+		jobs, err := sparse.PoissonBatch(12, 4000, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := DefaultPlacerConfig()
+		pcfg.Seed = seed
+		ct, err := NewCluster(ClusterConfig{
+			Cloud:  NewRandomCloud(20, 0.3, 20, 5, 1),
+			Placer: NewPlacer(pcfg),
+			Seed:   seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := run(ct, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Failed {
+				b.Fatal("unexpected failed job")
+			}
+		}
+		rounds += float64(ct.LastRunStats().Rounds)
+		events += float64(ct.LastRunStats().Events)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/run")
+	b.ReportMetric(events/float64(b.N), "events/run")
+}
+
+func BenchmarkClusterOnline(b *testing.B) {
+	benchClusterOnline(b, (*Cluster).Run)
+}
+
+func BenchmarkClusterOnlineLockStep(b *testing.B) {
+	benchClusterOnline(b, (*Cluster).RunLockStep)
+}
+
 // Component micro-benchmarks: the pieces the end-to-end numbers are made
 // of.
 

@@ -20,7 +20,9 @@
 //     round — redundant pairs go to critical gates, and no gate starves.
 //   - A multi-tenant controller: batch ordering by the intensity metric
 //     (Eq. 11), FIFO mode, placement retries as capacity frees, and
-//     cross-tenant communication-qubit contention.
+//     cross-tenant communication-qubit contention. The controller is
+//     event-driven (a discrete-event engine schedules arrivals,
+//     releases, and EPR rounds), so idle spans cost nothing to simulate.
 //
 // The minimal pipeline:
 //
@@ -30,8 +32,12 @@
 //	fmt.Println(res.JCT)
 //
 // For multi-tenant workloads, assemble a Cluster (see NewCluster) and
-// submit Jobs; for the paper's tables and figures, see the cloudqc CLI
-// (cmd/cloudqc) and the root-level benchmarks.
+// submit Jobs. Jobs may all arrive at time 0 (the paper's batch setting)
+// or carry Arrival times for the online "incoming jobs" setting: sample
+// timed streams with OnlineJobs (Poisson, uniform-rate, or bursty
+// arrival processes) and summarize the outcome with AggregateOnline.
+// For the paper's tables and figures, see the cloudqc CLI (cmd/cloudqc,
+// including its online mode) and the root-level benchmarks.
 package cloudqc
 
 import (
@@ -94,6 +100,12 @@ type (
 	// UtilizationRecorder samples cloud utilization during multi-tenant
 	// runs.
 	UtilizationRecorder = metrics.Recorder
+	// OnlineStats aggregates an online run's job stream: throughput,
+	// JCT percentiles, wait times.
+	OnlineStats = metrics.OnlineStats
+	// ClusterRunStats counts the scheduling rounds and events of a
+	// Cluster's last run.
+	ClusterRunStats = core.RunStats
 	// MigrationStats reports what the teleportation planner did.
 	MigrationStats = sched.MigrationStats
 )

@@ -77,6 +77,42 @@ func TestClusterThroughPublicAPI(t *testing.T) {
 	}
 }
 
+func TestOnlineThroughPublicAPI(t *testing.T) {
+	jobs, err := OnlineJobs(MixedWorkload(), "bursty", 6, 1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(ClusterConfig{Cloud: NewRandomCloud(20, 0.3, 20, 5, 2), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := cluster.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jcts, waits []float64
+	failed := 0
+	makespan := 0.0
+	for _, r := range results {
+		if r.Failed {
+			failed++
+			continue
+		}
+		jcts = append(jcts, r.JCT)
+		waits = append(waits, r.WaitTime)
+		if r.Finished > makespan {
+			makespan = r.Finished
+		}
+	}
+	s := AggregateOnline(jcts, waits, failed, makespan)
+	if s.Completed == 0 || s.Throughput <= 0 || s.P99JCT < s.P50JCT {
+		t.Fatalf("online stats = %+v", s)
+	}
+	if st := cluster.LastRunStats(); st.Rounds <= 0 || st.Events <= 0 {
+		t.Fatalf("run stats = %+v", st)
+	}
+}
+
 func TestAllPlacersExposed(t *testing.T) {
 	cl := NewRandomCloud(20, 0.3, 20, 5, 3)
 	circ, err := BuildCircuit("ising_n66")

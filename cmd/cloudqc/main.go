@@ -17,17 +17,25 @@
 //	fig18 fig19 fig20 fig21  JCT vs EPR probability
 //	fig22                    relative JCT by scheduling policy
 //	run                      full pipeline for one circuit (-circuit)
+//	online                   incoming-job mode: JCT, throughput and
+//	                         utilization vs arrival rate across the four
+//	                         workloads (-process, -jobs, -interarrivals);
+//	                         also invocable as `cloudqc -online`
 //
 // Common flags: -qpus, -edge-prob, -computing, -comm, -epr-prob, -seed,
-// -reps, -workers, -circuit, -batches, -batch-size. Simulation tasks fan
-// out to -workers goroutines (default: all CPUs); results are identical
-// for any worker count, and -workers 1 forces sequential execution.
+// -reps, -workers, -circuit, -batches, -batch-size. Online mode adds
+// -process (poisson, uniform, bursty), -jobs, and -interarrivals (a
+// comma-separated sweep of mean inter-arrival times in CX units).
+// Simulation tasks fan out to -workers goroutines (default: all CPUs);
+// results are identical for any worker count, and -workers 1 forces
+// sequential execution.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"cloudqc/internal/exp"
@@ -62,6 +70,9 @@ func run(args []string) error {
 		circuit   = fs.String("circuit", "knn_n67", "benchmark circuit name")
 		batches   = fs.Int("batches", 5, "multi-tenant batches per method")
 		batchSize = fs.Int("batch-size", 20, "jobs per batch")
+		process   = fs.String("process", "poisson", "online arrival process: poisson, uniform, or bursty")
+		jobs      = fs.Int("jobs", 10, "online jobs per run")
+		rates     = fs.String("interarrivals", "500,2000,8000", "comma-separated mean inter-arrival times (CX units)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -74,7 +85,7 @@ func run(args []string) error {
 
 	switch cmd {
 	case "help", "-h", "--help":
-		fmt.Println("experiments: list table1 table2 table3 fig6..fig22 run incoming teleport")
+		fmt.Println("experiments: list table1 table2 table3 fig6..fig22 run online incoming teleport")
 		fmt.Println("ablations:   ablation-imbalance ablation-order ablation-multipath ablation-fidelity")
 		return nil
 	case "list":
@@ -189,6 +200,22 @@ func run(args []string) error {
 		fmt.Println("incoming-job mode: Poisson arrivals, FIFO placement (Mixed workload)")
 		fmt.Print(exp.RenderIncoming(rows))
 		return nil
+	case "online", "-online", "--online":
+		if *jobs <= 0 {
+			return fmt.Errorf("-jobs must be positive, got %d", *jobs)
+		}
+		interarrivals, err := parseRates(*rates)
+		if err != nil {
+			return err
+		}
+		rows, err := exp.Online(o, *process, *jobs, interarrivals)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("online mode: %s arrivals, %d jobs per run, JCT/throughput/utilization vs arrival rate\n",
+			*process, *jobs)
+		fmt.Print(exp.RenderOnline(rows))
+		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q; try 'cloudqc help'", cmd)
 	}
@@ -199,6 +226,30 @@ func run(args []string) error {
 func idx(cmd string, base int) int {
 	n := int(cmd[3]-'0')*10 + int(cmd[4]-'0')
 	return n - base
+}
+
+// parseRates parses the -interarrivals sweep: a comma-separated list of
+// positive mean inter-arrival times.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -interarrivals entry %q: %w", field, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("non-positive inter-arrival time %v", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-interarrivals is empty")
+	}
+	return out, nil
 }
 
 func printCDFs(series []exp.CDFSeries) {

@@ -89,6 +89,35 @@ func TestRunPipelineSmallCircuit(t *testing.T) {
 	}
 }
 
+func TestRunOnlineMode(t *testing.T) {
+	// The online figure is expensive at defaults; shrink it to a smoke
+	// run. Both the subcommand and the -online alias must work.
+	args := []string{"-jobs", "3", "-reps", "1", "-interarrivals", "2000", "-process", "uniform"}
+	for _, cmd := range []string{"online", "-online"} {
+		out, err := capture(t, func() error { return run(append([]string{cmd}, args...)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"online mode", "uniform", "P99JCT", "Mixed", "Arithmetic"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s output missing %q:\n%s", cmd, want, out)
+			}
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("500, 2000,8000")
+	if err != nil || len(got) != 3 || got[1] != 2000 {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "abc", "0", "-5", "100,-1"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Fatalf("parseRates(%q) should error", bad)
+		}
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"table1", "-no-such-flag"}); err == nil {
 		t.Fatal("bad flag should error")

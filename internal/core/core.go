@@ -4,6 +4,14 @@
 // algorithm, and executes all active jobs' remote DAGs concurrently —
 // sharing every QPU's communication qubits across tenants each EPR round
 // and releasing computing qubits as jobs complete.
+//
+// Run is driven by the discrete-event engine in internal/des: job
+// arrivals, maturing computing-qubit releases, placement retries, and
+// shared EPR rounds are scheduled events, and spans where every active
+// job waits on local gate tails are skipped in one clock jump instead of
+// being simulated round by round. RunLockStep keeps the original
+// round-per-iteration loop as a reference implementation; on batch
+// workloads the two produce bit-identical results (see TestRunMatchesLockStep).
 package core
 
 import (
@@ -15,6 +23,7 @@ import (
 
 	"cloudqc/internal/circuit"
 	"cloudqc/internal/cloud"
+	"cloudqc/internal/des"
 	"cloudqc/internal/epr"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
@@ -99,12 +108,26 @@ type Config struct {
 	Recorder *metrics.Recorder
 }
 
+// RunStats summarizes the control-loop work of the last Run, for
+// benchmarking the event-driven core against the lock-step reference.
+type RunStats struct {
+	// Rounds counts executed scheduling rounds: every loop iteration in
+	// RunLockStep, every round tick in the event-driven Run.
+	Rounds int
+	// Events counts live discrete events the controller handled
+	// (arrivals plus executed ticks; superseded tick closures are not
+	// counted); zero for RunLockStep.
+	Events int
+}
+
 // Controller executes multi-tenant workloads on a quantum cloud.
 type Controller struct {
 	cfg Config
 	rng *rand.Rand
 	// intensity memoizes Eq. 11 per job ID for the batch manager's sort.
 	intensity map[int]float64
+	// stats describes the last Run/RunLockStep call.
+	stats RunStats
 }
 
 // NewController validates the configuration and applies defaults.
@@ -118,7 +141,11 @@ func NewController(cfg Config) (*Controller, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = sched.CloudQCPolicy{}
 	}
-	if cfg.Model.EPRAttempt == 0 {
+	// Only a fully zero Model means "use the paper's default"; a partial
+	// model (some latencies set, EPRAttempt forgotten) is a caller bug
+	// that Validate reports rather than silently overwriting the set
+	// fields.
+	if cfg.Model == (epr.Model{}) {
 		cfg.Model = epr.DefaultModel()
 	}
 	if err := cfg.Model.Validate(); err != nil {
@@ -150,141 +177,152 @@ type activeJob struct {
 	placedAt  float64
 }
 
-// Run executes the jobs to completion and returns their results ordered
-// by job ID. The cloud's computing-qubit reservations are restored to
-// their initial state before returning.
-func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
+// release is a (time, placement) pair for computing qubits whose job
+// finished but whose trailing local work ends later.
+type release struct {
+	at        float64
+	placement *place.Placement
+}
+
+// prepare validates the submitted jobs and initializes their result
+// slots. It rejects nil circuits, empty registers (a 0-qubit circuit
+// makes Intensity divide by zero, and the NaN would silently corrupt
+// the batch sort), and duplicate IDs.
+func (ct *Controller) prepare(jobs []*Job) (map[int]*JobResult, int, error) {
 	results := make(map[int]*JobResult, len(jobs))
 	totalComputing := 0
 	for i := 0; i < ct.cfg.Cloud.NumQPUs(); i++ {
 		totalComputing += ct.cfg.Cloud.QPU(i).Computing
 	}
-	var queue []*Job
 	for _, j := range jobs {
 		if j.Circuit == nil {
-			return nil, fmt.Errorf("core: job %d has no circuit", j.ID)
+			return nil, 0, fmt.Errorf("core: job %d has no circuit", j.ID)
+		}
+		if j.Circuit.NumQubits() == 0 {
+			return nil, 0, fmt.Errorf("core: job %d has an empty register", j.ID)
 		}
 		if _, dup := results[j.ID]; dup {
-			return nil, fmt.Errorf("core: duplicate job ID %d", j.ID)
+			return nil, 0, fmt.Errorf("core: duplicate job ID %d", j.ID)
 		}
 		results[j.ID] = &JobResult{Job: j}
-		queue = append(queue, j)
 	}
+	return results, totalComputing, nil
+}
 
-	var active []*activeJob
-	// releases holds (time, placement) pairs for computing qubits whose
-	// jobs finished but whose trailing local work ends later.
-	type release struct {
-		at        float64
-		placement *place.Placement
+// LastRunStats reports the control-loop work of the most recent Run or
+// RunLockStep call.
+func (ct *Controller) LastRunStats() RunStats { return ct.stats }
+
+// runState is the event-driven Run's mutable state, shared by the event
+// closures scheduled on the engine.
+type runState struct {
+	ct             *Controller
+	eng            *des.Engine
+	results        map[int]*JobResult
+	totalComputing int
+	// queue holds arrived jobs awaiting placement. Unlike the lock-step
+	// loop, jobs enter it only when their arrival event fires, so its
+	// length is exactly the arrived-but-unplaced count the Recorder
+	// samples as Queued.
+	queue           []*Job
+	pendingArrivals int
+	active          []*activeJob
+	releases        []release
+	budget          []int
+	// nextRound is the next shared EPR round's time. Round times advance
+	// by repeated EPRAttempt addition from the instant multi-tenant
+	// execution (re)started — exactly the float sequence the lock-step
+	// loop produces — and are NaN while no job is active.
+	nextRound float64
+	// capacityChanged gates admission: set by arrivals and maturing
+	// releases, consumed by the next tick.
+	capacityChanged bool
+	// tickGen invalidates superseded tick events: the engine has no
+	// cancel, so a rescheduled tick bumps the generation and the stale
+	// closure becomes a no-op.
+	tickGen int
+	// tickAt is the scheduled live tick's time (NaN when none).
+	tickAt float64
+	// maxFinished tracks the latest job completion for the closing
+	// recorder sample.
+	maxFinished float64
+	err         error
+}
+
+// Run executes the jobs to completion and returns their results ordered
+// by job ID. The cloud's computing-qubit reservations are restored to
+// their initial state before returning.
+//
+// Run is event-driven: arrivals, maturing releases, placement retries,
+// and shared EPR rounds are events on an internal/des engine, and when
+// every active job's ready set is empty the clock jumps straight to the
+// next enabling time instead of spinning one iteration per EPRAttempt
+// slot. On batch workloads it reproduces RunLockStep's results
+// bit-identically while executing strictly fewer scheduling rounds.
+func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
+	results, totalComputing, err := ct.prepare(jobs)
+	if err != nil {
+		return nil, err
 	}
-	var releases []release
-
-	t := 0.0
-	capacityChanged := true
-	budget := make([]int, ct.cfg.Cloud.NumQPUs())
-
-	for len(queue) > 0 || len(active) > 0 {
-		// Apply matured releases.
-		kept := releases[:0]
-		for _, r := range releases {
-			if r.at <= t {
-				r.placement.Release(ct.cfg.Cloud)
-				capacityChanged = true
-			} else {
-				kept = append(kept, r)
-			}
+	ct.stats = RunStats{}
+	st := &runState{
+		ct:              ct,
+		eng:             des.NewEngine(),
+		results:         results,
+		totalComputing:  totalComputing,
+		pendingArrivals: len(jobs),
+		budget:          make([]int, ct.cfg.Cloud.NumQPUs()),
+		nextRound:       math.NaN(),
+		tickAt:          math.NaN(),
+	}
+	first := math.Inf(1)
+	for _, j := range jobs {
+		j := j
+		at := j.Arrival
+		if at < 0 {
+			at = 0 // like the lock-step loop, a negative arrival means "already here"
 		}
-		releases = kept
-
-		// Admission: try placing waiting, arrived jobs.
-		if capacityChanged {
-			var err error
-			queue, active, err = ct.admit(queue, active, results, t, totalComputing)
-			if err != nil {
-				return nil, err
-			}
-			capacityChanged = false
+		if at < first {
+			first = at
 		}
-
-		if ct.cfg.Recorder != nil {
-			ct.cfg.Recorder.Record(metrics.Sample{
-				Time:        t,
-				Utilization: ct.cfg.Cloud.Utilization(),
-				Active:      len(active),
-				Queued:      len(queue),
-			})
+		st.eng.Schedule(at, func() { st.arrive(j) })
+	}
+	if ct.cfg.Recorder != nil && first > 0 {
+		// Opening sample: the idle span before the first arrival belongs
+		// to the recorded horizon (the lock-step loop's t=0 iteration
+		// captures it too).
+		ct.cfg.Recorder.Record(metrics.Sample{Time: 0, Utilization: ct.cfg.Cloud.Utilization()})
+	}
+	st.eng.Run()
+	if st.err != nil {
+		// Failed runs must not leak reservations either: release every
+		// still-active placement and pending release so the shared cloud
+		// is usable for the next Run.
+		for _, aj := range st.active {
+			aj.placement.Release(ct.cfg.Cloud)
 		}
-
-		// One shared EPR round across every active job.
-		var reqs []sched.Request
-		readyByJob := make(map[int][]int, len(active))
-		for idx, aj := range active {
-			ready := aj.state.Ready(t)
-			readyByJob[idx] = ready
-			reqs = append(reqs, aj.state.Requests(idx, ready)...)
+		for _, r := range st.releases {
+			r.placement.Release(ct.cfg.Cloud)
 		}
-		if len(reqs) > 0 {
-			for i := range budget {
-				budget[i] = ct.cfg.Cloud.QPU(i).Comm
-			}
-			alloc := ct.cfg.Policy.Allocate(reqs, budget, ct.rng)
-			for idx, aj := range active {
-				for _, u := range readyByJob[idx] {
-					aj.state.Attempt(u, alloc[sched.NodeKey{Job: idx, Node: u}], t, ct.cfg.Model, ct.rng)
-				}
-			}
-		}
-
-		// Retire completed jobs.
-		remaining := active[:0]
-		for _, aj := range active {
-			if !aj.state.Done() {
-				remaining = append(remaining, aj)
-				continue
-			}
-			finished := aj.state.JCT()
-			res := results[aj.job.ID]
-			res.PlacedAt = aj.placedAt
-			res.Finished = finished
-			res.JCT = finished - aj.job.Arrival
-			res.WaitTime = aj.placedAt - aj.job.Arrival
-			releases = append(releases, release{at: finished, placement: aj.placement})
-		}
-		active = remaining
-
-		if len(queue) == 0 && len(active) == 0 {
-			break
-		}
-
-		// Advance the clock: to the next round if anything is running,
-		// otherwise jump to the next enabling event (arrival or release).
-		next := t + ct.cfg.Model.EPRAttempt
-		if len(active) == 0 {
-			next = math.Inf(1)
-			for _, j := range queue {
-				if j.Arrival > t && j.Arrival < next {
-					next = j.Arrival
-				}
-			}
-			for _, r := range releases {
-				if r.at > t && r.at < next {
-					next = r.at
-				}
-			}
-			if math.IsInf(next, 1) {
-				// Waiting jobs, nothing running, nothing to release:
-				// capacity will never change again.
-				return nil, fmt.Errorf("core: %d jobs unplaceable with all resources free", len(queue))
-			}
-			capacityChanged = true
-		}
-		t = next
+		return nil, st.err
 	}
 
 	// Final releases restore the cloud.
-	for _, r := range releases {
+	for _, r := range st.releases {
 		r.placement.Release(ct.cfg.Cloud)
+	}
+	if ct.cfg.Recorder != nil && len(jobs) > 0 {
+		// Closing sample: thinned recorders would otherwise drop the
+		// end-of-run state and under-cover the horizon (see
+		// metrics.Recorder.Flush).
+		end := st.eng.Now()
+		if st.maxFinished > end {
+			end = st.maxFinished
+		}
+		ct.cfg.Recorder.Flush(metrics.Sample{
+			Time:        end,
+			Utilization: ct.cfg.Cloud.Utilization(),
+		})
 	}
 
 	out := make([]*JobResult, 0, len(results))
@@ -292,6 +330,197 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 		out = append(out, results[j.ID])
 	}
 	return out, nil
+}
+
+// arrive is the arrival event: the job joins the admission queue and a
+// tick at the current instant places it if capacity allows — unlike the
+// lock-step loop, which only re-ran admission after a release and could
+// strand an arrival on an idle cloud until some other job finished.
+func (st *runState) arrive(j *Job) {
+	st.pendingArrivals--
+	if st.err != nil {
+		return
+	}
+	st.ct.stats.Events++
+	st.queue = append(st.queue, j)
+	st.capacityChanged = true
+	st.requestTick(st.eng.Now())
+}
+
+// requestTick schedules the controller tick at `at`, superseding any
+// later-scheduled tick. Requests at or after the pending tick are
+// no-ops: ticks only ever move earlier, never later.
+func (st *runState) requestTick(at float64) {
+	if !math.IsNaN(st.tickAt) && st.tickAt <= at {
+		return
+	}
+	st.tickGen++
+	gen := st.tickGen
+	st.tickAt = at
+	st.eng.Schedule(at, func() {
+		if gen != st.tickGen || st.err != nil {
+			return
+		}
+		st.tickAt = math.NaN()
+		st.tick()
+	})
+}
+
+// tick is one controller pass at the current instant, mirroring one
+// lock-step loop iteration: apply matured releases, retry admission,
+// sample the recorder, run the shared EPR round if one is due, retire
+// finished jobs, and schedule the next tick.
+func (st *runState) tick() {
+	ct := st.ct
+	ct.stats.Events++
+	t := st.eng.Now()
+
+	// Apply matured releases.
+	kept := st.releases[:0]
+	for _, r := range st.releases {
+		if r.at <= t {
+			r.placement.Release(ct.cfg.Cloud)
+			st.capacityChanged = true
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	st.releases = kept
+
+	// Admission: try placing waiting jobs. Admitting onto an idle cloud
+	// (re)starts the round clock at this instant, matching the lock-step
+	// loop's jump-then-iterate behavior.
+	if st.capacityChanged {
+		wasIdle := len(st.active) == 0
+		var err error
+		st.queue, st.active, err = ct.admit(st.queue, st.active, st.results, t, st.totalComputing)
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.capacityChanged = false
+		if wasIdle && len(st.active) > 0 {
+			st.nextRound = t
+		}
+	}
+
+	if ct.cfg.Recorder != nil {
+		ct.cfg.Recorder.Record(metrics.Sample{
+			Time:        t,
+			Utilization: ct.cfg.Cloud.Utilization(),
+			Active:      len(st.active),
+			Queued:      len(st.queue),
+		})
+	}
+
+	// One shared EPR round across every active job, when a round is due.
+	// Off-grid ticks (an arrival landing between rounds) only admit; the
+	// round cadence of already-running jobs is preserved.
+	if !math.IsNaN(st.nextRound) && t >= st.nextRound {
+		ct.stats.Rounds++
+		var reqs []sched.Request
+		readyByJob := make(map[int][]int, len(st.active))
+		for idx, aj := range st.active {
+			ready := aj.state.Ready(t)
+			readyByJob[idx] = ready
+			reqs = append(reqs, aj.state.Requests(idx, ready)...)
+		}
+		if len(reqs) > 0 {
+			for i := range st.budget {
+				st.budget[i] = ct.cfg.Cloud.QPU(i).Comm
+			}
+			alloc := ct.cfg.Policy.Allocate(reqs, st.budget, ct.rng)
+			for idx, aj := range st.active {
+				for _, u := range readyByJob[idx] {
+					aj.state.Attempt(u, alloc[sched.NodeKey{Job: idx, Node: u}], t, ct.cfg.Model, ct.rng)
+				}
+			}
+		}
+		st.nextRound = t + ct.cfg.Model.EPRAttempt
+	}
+
+	// Retire completed jobs.
+	remaining := st.active[:0]
+	for _, aj := range st.active {
+		if !aj.state.Done() {
+			remaining = append(remaining, aj)
+			continue
+		}
+		finished := aj.state.JCT()
+		res := st.results[aj.job.ID]
+		res.PlacedAt = aj.placedAt
+		res.Finished = finished
+		res.JCT = finished - aj.job.Arrival
+		res.WaitTime = aj.placedAt - aj.job.Arrival
+		st.releases = append(st.releases, release{at: finished, placement: aj.placement})
+		if finished > st.maxFinished {
+			st.maxFinished = finished
+		}
+	}
+	st.active = remaining
+
+	st.scheduleNext(t)
+}
+
+// scheduleNext decides when the controller must wake again after a tick
+// at time t. With active jobs it is the next round that can make
+// progress: rounds advance on the EPRAttempt grid, and grid slots where
+// no job has a ready node and no release matures are skipped in one
+// jump. With an idle cloud it is the next release (arrival events wake
+// the controller on their own); no wake source left with jobs still
+// queued means they can never be placed.
+func (st *runState) scheduleNext(t float64) {
+	if len(st.active) == 0 {
+		st.nextRound = math.NaN()
+		if len(st.queue) == 0 && st.pendingArrivals == 0 {
+			return // done: only the final releases remain
+		}
+		// Wake at the next maturing release even with nothing queued:
+		// later arrivals need the freed capacity applied, and the
+		// Recorder's sample-and-hold series must see utilization drop at
+		// the release, not at the next arrival.
+		next := math.Inf(1)
+		for _, r := range st.releases {
+			if r.at > t && r.at < next {
+				next = r.at
+			}
+		}
+		if !math.IsInf(next, 1) {
+			st.requestTick(next)
+		} else if len(st.queue) > 0 && st.pendingArrivals == 0 {
+			st.err = fmt.Errorf("core: %d jobs unplaceable with all resources free", len(st.queue))
+		}
+		return
+	}
+
+	// Earliest instant any active job can attempt EPR generation; a
+	// maturing release also matters (placement retries, utilization
+	// samples), processed on the round grid like the lock-step loop.
+	states := make([]*sched.JobState, len(st.active))
+	for i, aj := range st.active {
+		states[i] = aj.state
+	}
+	wake, ok := sched.EarliestEnableTime(states, t)
+	if !ok {
+		// Unreachable: an unfinished job always has a runnable node. Keep
+		// the round cadence rather than spinning the skip loop forever.
+		wake = t
+	}
+	for _, r := range st.releases {
+		if r.at > t && r.at < wake {
+			wake = r.at
+		}
+	}
+	// Advance to the first round slot covering wake by repeated
+	// EPRAttempt addition — the identical float sequence the lock-step
+	// loop walks, so skipping stalls cannot perturb round times (and
+	// with them EPR sampling) by even one ulp.
+	next := st.nextRound
+	for next < wake {
+		next += st.ct.cfg.Model.EPRAttempt
+	}
+	st.nextRound = next
+	st.requestTick(next)
 }
 
 // admit tries to place every waiting job that has arrived, in batch or
@@ -331,7 +560,9 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 				waiting = append(waiting, j) // retry after a release
 				continue
 			}
-			return nil, nil, fmt.Errorf("core: placing job %d: %w", j.ID, err)
+			// Return the state held so far: callers release the active
+			// placements on this path so the cloud is not leaked.
+			return waiting, active, fmt.Errorf("core: placing job %d: %w", j.ID, err)
 		}
 		if err := pl.Reserve(ct.cfg.Cloud); err != nil {
 			waiting = append(waiting, j)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"cloudqc/internal/epr"
 	"cloudqc/internal/graph"
 	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
 	"cloudqc/internal/qlib"
 	"cloudqc/internal/sched"
 )
@@ -325,6 +327,332 @@ func TestRecorderCapturesUtilization(t *testing.T) {
 	}
 	if rec.PeakUtilization() > 1 {
 		t.Fatalf("utilization above 1: %v", rec.PeakUtilization())
+	}
+}
+
+// equivConfig builds a fresh controller for the equivalence tests: the
+// two runs under comparison must not share a controller (RNG state), a
+// placer (internal search state), or a cloud (reservations).
+func equivConfig(t *testing.T, seed int64, mode Mode, qpus int) *Controller {
+	t.Helper()
+	pCfg := place.DefaultConfig()
+	pCfg.Seed = seed
+	ct, err := NewController(Config{
+		Cloud:  cloud.NewRandom(qpus, 0.3, 20, 5, 1),
+		Placer: place.NewCloudQC(pCfg),
+		Mode:   mode,
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// TestRunMatchesLockStep is the seeded equivalence guarantee: on batch
+// workloads (all arrivals at 0) the event-driven Run must reproduce the
+// lock-step reference's JobResults bit-identically — same RNG draws at
+// the same round times, just without simulating the empty rounds.
+func TestRunMatchesLockStep(t *testing.T) {
+	cases := []struct {
+		name  string
+		mode  Mode
+		qpus  int
+		batch func(seed int64) ([]*Job, error)
+	}{
+		{"qugan-batch", BatchMode, 20, func(seed int64) ([]*Job, error) {
+			return buildJobs([]string{"qugan_n39", "qugan_n71", "qugan_n111", "qugan_n39", "qugan_n71"})
+		}},
+		{"mixed-fifo", FIFOMode, 20, func(seed int64) ([]*Job, error) {
+			return buildJobs([]string{"knn_n67", "qft_n63", "ghz_n127", "ising_n66"})
+		}},
+		{"oversubscribed", BatchMode, 8, func(seed int64) ([]*Job, error) {
+			// 5 x 127-qubit jobs on a 160-qubit cloud force queueing and
+			// release-driven placement retries.
+			return buildJobs([]string{"ghz_n127", "ghz_n127", "ghz_n127", "ghz_n127", "ghz_n127"})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				jobsA, err := tc.batch(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				jobsB, err := tc.batch(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := equivConfig(t, seed, tc.mode, tc.qpus)
+				want, err := ref.RunLockStep(jobsA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ev := equivConfig(t, seed, tc.mode, tc.qpus)
+				got, err := ev.Run(jobsB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("result count %d vs %d", len(got), len(want))
+				}
+				for i := range want {
+					w, g := want[i], got[i]
+					if g.Job.ID != w.Job.ID || g.Failed != w.Failed ||
+						g.PlacedAt != w.PlacedAt || g.Finished != w.Finished ||
+						g.JCT != w.JCT || g.WaitTime != w.WaitTime ||
+						g.RemoteGates != w.RemoteGates {
+						t.Fatalf("seed %d job %d diverged:\nlock-step %+v\nevent     %+v",
+							seed, w.Job.ID, *w, *g)
+					}
+				}
+				if ev.LastRunStats().Rounds > ref.LastRunStats().Rounds {
+					t.Fatalf("event-driven run used more rounds (%d) than lock-step (%d)",
+						ev.LastRunStats().Rounds, ref.LastRunStats().Rounds)
+				}
+			}
+		})
+	}
+}
+
+func buildJobs(names []string) ([]*Job, error) {
+	var jobs []*Job
+	for i, name := range names {
+		c, err := qlib.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, &Job{ID: i, Circuit: c})
+	}
+	return jobs, nil
+}
+
+// TestRunSkipsStalledRounds checks the headline fix: when active jobs
+// wait on long local tails, the event-driven clock jumps instead of
+// spinning one round per EPRAttempt slot.
+func TestRunSkipsStalledRounds(t *testing.T) {
+	jobs := func() []*Job {
+		js, err := buildJobs([]string{"multiplier_n45", "adder_n64"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	ref := equivConfig(t, 3, BatchMode, 20)
+	if _, err := ref.RunLockStep(jobs()); err != nil {
+		t.Fatal(err)
+	}
+	ev := equivConfig(t, 3, BatchMode, 20)
+	if _, err := ev.Run(jobs()); err != nil {
+		t.Fatal(err)
+	}
+	lock, event := ref.LastRunStats().Rounds, ev.LastRunStats().Rounds
+	if event >= lock {
+		t.Fatalf("event-driven rounds %d not fewer than lock-step %d", event, lock)
+	}
+	t.Logf("rounds: lock-step %d, event-driven %d (%.1fx fewer)",
+		lock, event, float64(lock)/float64(event))
+}
+
+// TestQueuedCountsOnlyArrived is the Recorder regression test: a job
+// whose arrival is far in the future must not inflate the Queued sample
+// while the cloud sits idle or runs earlier jobs.
+func TestQueuedCountsOnlyArrived(t *testing.T) {
+	rec := metrics.NewRecorder(0)
+	ct := controller(t, Config{Seed: 21, Recorder: rec})
+	const lateArrival = 1e6
+	_, err := ct.Run([]*Job{
+		{ID: 0, Circuit: qlib.MustBuild("knn_n67"), Arrival: 0},
+		{ID: 1, Circuit: qlib.GHZ(10), Arrival: lateArrival},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Samples()) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, s := range rec.Samples() {
+		if s.Time < lateArrival && s.Queued != 0 {
+			t.Fatalf("sample at %v reports Queued=%d before the job arrived", s.Time, s.Queued)
+		}
+	}
+}
+
+// TestRunFlushesClosingSample: thinned recorders must still capture the
+// end-of-run state.
+func TestRunFlushesClosingSample(t *testing.T) {
+	rec := metrics.NewRecorder(1e9) // thinning window wider than any run
+	ct := controller(t, Config{Seed: 22, Recorder: rec})
+	res, err := ct.Run([]*Job{{ID: 0, Circuit: qlib.MustBuild("knn_n67")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := rec.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("samples = %d, want opening + closing", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.Time < res[0].Finished {
+		t.Fatalf("closing sample at %v predates job finish %v", last.Time, res[0].Finished)
+	}
+	if last.Utilization != 0 {
+		t.Fatalf("closing utilization = %v, want 0 after all releases", last.Utilization)
+	}
+}
+
+func TestModelDefaultsOnlyWhenFullyZero(t *testing.T) {
+	// Fully zero model: paper defaults apply.
+	ct := controller(t, Config{Seed: 23})
+	if ct.cfg.Model != epr.DefaultModel() {
+		t.Fatalf("zero model not defaulted: %+v", ct.cfg.Model)
+	}
+	// Partial model (latencies set, EPRAttempt forgotten): the caller's
+	// fields must not be silently replaced — this is an error.
+	partial := epr.Model{SuccessProb: 0.5}
+	if _, err := NewController(Config{Cloud: testCloud(), Model: partial}); err == nil {
+		t.Fatal("partial model should error, not be overwritten")
+	}
+}
+
+func TestEmptyRegisterJobRejected(t *testing.T) {
+	ct := controller(t, Config{Seed: 24})
+	// circuit.New rejects 0 qubits, but a zero-value Circuit slips past
+	// it and used to reach Intensity, whose division by zero produced a
+	// NaN that silently corrupted the batch sort.
+	empty := &circuit.Circuit{Name: "empty"}
+	_, err := ct.Run([]*Job{{ID: 0, Circuit: empty}})
+	if err == nil || !strings.Contains(err.Error(), "empty register") {
+		t.Fatalf("err = %v, want empty-register rejection", err)
+	}
+	if _, err := ct.RunLockStep([]*Job{{ID: 0, Circuit: empty}}); err == nil {
+		t.Fatal("lock-step reference must reject empty registers too")
+	}
+}
+
+// TestOnlineArrivalAdmittedOnIdleCapacity: the lock-step loop only
+// re-ran admission after a release, so a job arriving while the cloud
+// had free capacity (but other jobs were running) waited for an
+// unrelated completion. The event-driven core admits it on arrival.
+func TestOnlineArrivalAdmittedOnArrival(t *testing.T) {
+	ct := controller(t, Config{Seed: 25})
+	res, err := ct.Run([]*Job{
+		{ID: 0, Circuit: qlib.MustBuild("knn_n67"), Arrival: 0},
+		{ID: 1, Circuit: qlib.GHZ(10), Arrival: 55}, // fits alongside job 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Finished <= 55 {
+		t.Skip("fixture assumption broken: job 0 finished before job 1 arrived")
+	}
+	if res[1].WaitTime != 0 {
+		t.Fatalf("job 1 waited %v despite free capacity at arrival", res[1].WaitTime)
+	}
+	if res[1].PlacedAt != 55 {
+		t.Fatalf("job 1 placed at %v, want its arrival instant 55", res[1].PlacedAt)
+	}
+}
+
+// TestSparseStreamUtilizationMatchesLockStep: on a sparse online stream
+// the event-driven core must wake at release times even with nothing
+// queued, and must record the idle span before the first arrival —
+// otherwise sample-and-hold holds stale utilization across idle gaps
+// and MeanUtilization is grossly overstated vs the lock-step reference.
+func TestSparseStreamUtilizationMatchesLockStep(t *testing.T) {
+	mkJobs := func() []*Job {
+		c := qlib.MustBuild("knn_n67")
+		return []*Job{
+			{ID: 0, Circuit: c, Arrival: 1000},
+			{ID: 1, Circuit: c, Arrival: 200000},
+		}
+	}
+	recRef := metrics.NewRecorder(0)
+	ref := equivConfig(t, 5, BatchMode, 20)
+	ref.cfg.Recorder = recRef
+	if _, err := ref.RunLockStep(mkJobs()); err != nil {
+		t.Fatal(err)
+	}
+	recEv := metrics.NewRecorder(0)
+	ev := equivConfig(t, 5, BatchMode, 20)
+	ev.cfg.Recorder = recEv
+	if _, err := ev.Run(mkJobs()); err != nil {
+		t.Fatal(err)
+	}
+	a, b := recRef.MeanUtilization(), recEv.MeanUtilization()
+	if math.Abs(a-b) > 0.02 {
+		t.Fatalf("mean utilization diverged: lock-step %v, event-driven %v", a, b)
+	}
+	// The idle prefix [0, 1000) must be part of the recorded horizon.
+	if first := recEv.Samples()[0]; first.Time != 0 || first.Utilization != 0 {
+		t.Fatalf("first sample = %+v, want idle opening sample at t=0", first)
+	}
+}
+
+// failingPlacer places its first job normally, then errors hard.
+type failingPlacer struct {
+	inner place.Placer
+	calls int
+}
+
+func (p *failingPlacer) Name() string { return "failing" }
+
+func (p *failingPlacer) Place(cl *cloud.Cloud, c *circuit.Circuit) (*place.Placement, error) {
+	p.calls++
+	if p.calls > 1 {
+		return nil, errors.New("placer exploded")
+	}
+	return p.inner.Place(cl, c)
+}
+
+// TestRunErrorReleasesReservations: a failed run must not leak computing
+// qubit reservations on the shared cloud.
+func TestRunErrorReleasesReservations(t *testing.T) {
+	for name, run := range map[string]func(*Controller, []*Job) ([]*JobResult, error){
+		"event":    (*Controller).Run,
+		"lockstep": (*Controller).RunLockStep,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cl := testCloud()
+			ct, err := NewController(Config{
+				Cloud:  cl,
+				Placer: &failingPlacer{inner: place.NewCloudQC(place.DefaultConfig())},
+				Seed:   27,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = run(ct, []*Job{
+				{ID: 0, Circuit: qlib.GHZ(127)},
+				{ID: 1, Circuit: qlib.GHZ(127)},
+			})
+			if err == nil {
+				t.Fatal("second placement should have errored")
+			}
+			if cl.Utilization() != 0 {
+				t.Fatalf("%s leaked reservations: utilization %v after failed run", name, cl.Utilization())
+			}
+		})
+	}
+}
+
+func TestRunUnplaceableWaitingJobsError(t *testing.T) {
+	// A job that fits the cloud's total capacity but can never be placed
+	// (per-QPU fragmentation) must surface the lock-step loop's
+	// "unplaceable with all resources free" error, not hang.
+	small := cloud.New(graph.Path(3), 10, 5)
+	ct := controller(t, Config{Cloud: small, Seed: 26})
+	big := qlib.GHZ(28) // 28 <= 30 total, but placement may still fail repeatedly
+	res, err := ct.Run([]*Job{{ID: 0, Circuit: big}})
+	if err != nil {
+		if !strings.Contains(err.Error(), "unplaceable") {
+			t.Fatalf("err = %v, want unplaceable error", err)
+		}
+		return
+	}
+	// Placement succeeded on this topology: fine — the error path is
+	// covered by the infeasible case below.
+	if res[0].Failed {
+		t.Fatal("job within total capacity should not be marked failed")
 	}
 }
 

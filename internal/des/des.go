@@ -1,7 +1,11 @@
 // Package des is a minimal discrete-event simulation engine: a clock and
 // a time-ordered event queue with stable FIFO ordering for simultaneous
-// events. The multi-tenant controller drives job arrivals, placement
-// retries, and scheduling rounds through it.
+// events. The multi-tenant controller (internal/core) drives job
+// arrivals, placement retries, and shared EPR scheduling rounds through
+// it — arrivals are scheduled up front, while the controller keeps one
+// live "tick" event that it supersedes (there is no cancel; callers
+// guard stale closures, e.g. with a generation counter) whenever an
+// earlier wake-up becomes necessary.
 package des
 
 import (
@@ -12,9 +16,10 @@ import (
 // Engine owns the simulation clock and pending events. The zero value is
 // not usable; construct with NewEngine.
 type Engine struct {
-	now   float64
-	seq   int64
-	queue eventHeap
+	now       float64
+	seq       int64
+	processed int
+	queue     eventHeap
 }
 
 // NewEngine returns an engine with the clock at 0 and no events.
@@ -27,6 +32,9 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int { return e.processed }
 
 // Schedule enqueues fn to run at absolute time at. Scheduling in the
 // past panics — that is always a logic bug in the caller.
@@ -54,6 +62,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
+	e.processed++
 	ev.fn()
 	return true
 }

@@ -35,6 +35,19 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	}
 }
 
+func TestProcessedCounts(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() { e.Schedule(3, func() {}) })
+	if e.Processed() != 0 {
+		t.Fatalf("Processed = %d before running", e.Processed())
+	}
+	e.Run()
+	if e.Processed() != 3 {
+		t.Fatalf("Processed = %d, want 3 (including the nested event)", e.Processed())
+	}
+}
+
 func TestSchedulePastPanics(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(5, func() {})

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+// OnlineRow is one (workload × arrival rate) cell of the online figure:
+// job-stream statistics plus time-weighted cloud utilization for a
+// stream of incoming jobs at the given mean inter-arrival time.
+type OnlineRow struct {
+	Workload         string
+	MeanInterarrival float64
+	Stats            metrics.OnlineStats
+	MeanUtilization  float64
+}
+
+// onlineRep is one (workload × rate × rep) task's raw outcome.
+type onlineRep struct {
+	jcts, waits []float64
+	failed      int
+	makespan    float64
+	utilization float64
+}
+
+// Online evaluates the paper's "incoming jobs" setting across the four
+// evaluation workloads: jobs arrive over time (arrival process
+// "poisson", "uniform", or "bursty"; see workload.Arrivals), the batch
+// manager admits and places them as capacity allows, and each cell
+// reports throughput, JCT percentiles, wait time, and mean utilization.
+// Sweeping interarrivals traces JCT and utilization vs. arrival rate —
+// faster arrivals mean deeper queues, longer waits, higher utilization.
+//
+// Tasks fan out to the experiment worker pool: one point per
+// (workload × rate), with arrival rates sharing per-rep streams so each
+// column of the figure faces the same job population at different
+// spacings.
+func Online(o Options, process string, size int, interarrivals []float64) ([]OnlineRow, error) {
+	o = o.withDefaults()
+	if size == 0 {
+		size = 10
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("exp: negative online stream size %d", size)
+	}
+	if len(interarrivals) == 0 {
+		interarrivals = []float64{500, 2000, 8000}
+	}
+	workloads := workload.All()
+	points := len(workloads) * len(interarrivals)
+	reps, err := runIndexed(o.workers(), points*o.Reps, func(i int) (onlineRep, error) {
+		pt, rep := i/o.Reps, i%o.Reps
+		wi, ii := pt/len(interarrivals), pt%len(interarrivals)
+		// Seed by (workload, rep) only: every arrival rate replays the
+		// same circuit draws and arrival-gap stream, stretched to its
+		// spacing, so the sweep isolates the rate.
+		seed := taskSeed(o.Seed, wi, rep)
+		jobs, err := workloads[wi].Arrivals(process, size, interarrivals[ii], seed)
+		if err != nil {
+			return onlineRep{}, err
+		}
+		pCfg := place.DefaultConfig()
+		pCfg.Seed = seed
+		rec := metrics.NewRecorder(0)
+		ct, err := core.NewController(core.Config{
+			Cloud:    o.cloudFor(),
+			Placer:   place.NewCloudQC(pCfg),
+			Policy:   sched.CloudQCPolicy{},
+			Model:    o.model(),
+			Mode:     core.BatchMode,
+			Seed:     seed,
+			Recorder: rec,
+		})
+		if err != nil {
+			return onlineRep{}, err
+		}
+		results, err := ct.Run(jobs)
+		if err != nil {
+			return onlineRep{}, fmt.Errorf("online %s ia=%v rep %d: %w",
+				workloads[wi].Name, interarrivals[ii], rep, err)
+		}
+		var r onlineRep
+		for _, res := range results {
+			if res.Failed {
+				r.failed++
+				continue
+			}
+			r.jcts = append(r.jcts, res.JCT)
+			r.waits = append(r.waits, res.WaitTime)
+			if res.Finished > r.makespan {
+				r.makespan = res.Finished
+			}
+		}
+		r.utilization = rec.MeanUtilization()
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OnlineRow, 0, points)
+	for pt := 0; pt < points; pt++ {
+		wi, ii := pt/len(interarrivals), pt%len(interarrivals)
+		var jcts, waits []float64
+		failed := 0
+		var makespan, utilArea float64
+		for rep := 0; rep < o.Reps; rep++ {
+			r := reps[pt*o.Reps+rep]
+			jcts = append(jcts, r.jcts...)
+			waits = append(waits, r.waits...)
+			failed += r.failed
+			makespan += r.makespan
+			// Weight each rep's mean utilization by its horizon so the
+			// row's utilization and throughput cover the same combined
+			// span (an unweighted average would let a short rep's value
+			// count as much as a long one's).
+			utilArea += r.utilization * r.makespan
+		}
+		util := 0.0
+		if makespan > 0 {
+			util = utilArea / makespan
+		}
+		rows = append(rows, OnlineRow{
+			Workload:         workloads[wi].Name,
+			MeanInterarrival: interarrivals[ii],
+			// Throughput over the summed makespans: completed jobs per
+			// kCX of simulated time across all reps.
+			Stats:           metrics.AggregateOnline(jcts, waits, failed, makespan),
+			MeanUtilization: util,
+		})
+	}
+	return rows, nil
+}
+
+// RenderOnline renders online rows grouped by workload.
+func RenderOnline(rows []OnlineRow) string {
+	headers := []string{"Workload", "Interarrival", "Done", "Fail",
+		"Jobs/kCX", "MeanJCT", "P50JCT", "P99JCT", "MeanWait", "MeanUtil"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload,
+			stats.F(r.MeanInterarrival),
+			fmt.Sprintf("%d", r.Stats.Completed),
+			fmt.Sprintf("%d", r.Stats.Failed),
+			fmt.Sprintf("%.2f", r.Stats.Throughput),
+			stats.F(r.Stats.MeanJCT),
+			stats.F(r.Stats.P50JCT),
+			stats.F(r.Stats.P99JCT),
+			stats.F(r.Stats.MeanWait),
+			fmt.Sprintf("%.2f", r.MeanUtilization),
+		})
+	}
+	return stats.Table(headers, out)
+}

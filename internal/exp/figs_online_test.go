@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestOnlineRowsCoverWorkloadsAndRates(t *testing.T) {
+	o := Defaults()
+	o.Reps = 1
+	rows, err := Online(o, "poisson", 4, []float64{1000, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*2 {
+		t.Fatalf("rows = %d, want 4 workloads x 2 rates", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.Completed+r.Stats.Failed == 0 {
+			t.Fatalf("row %+v saw no jobs", r)
+		}
+		if r.Stats.Completed > 0 && (r.Stats.MeanJCT <= 0 || r.Stats.Throughput <= 0) {
+			t.Fatalf("row %+v has degenerate stats", r)
+		}
+		if r.MeanUtilization < 0 || r.MeanUtilization > 1 {
+			t.Fatalf("utilization %v outside [0,1]", r.MeanUtilization)
+		}
+	}
+	out := RenderOnline(rows)
+	if !strings.Contains(out, "Mixed") || !strings.Contains(out, "P99JCT") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}
+
+// TestOnlineDeterministicAcrossWorkers: the online figure must be
+// bit-identical at any worker-pool size, like every other experiment.
+func TestOnlineDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []OnlineRow {
+		o := Defaults()
+		o.Reps = 1
+		o.Workers = workers
+		rows, err := Online(o, "bursty", 4, []float64{2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	sequential, parallel := run(1), run(4)
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Fatalf("worker count changed results:\nworkers=1: %+v\nworkers=4: %+v",
+			sequential, parallel)
+	}
+}
+
+func TestOnlineUnknownProcessErrors(t *testing.T) {
+	o := Defaults()
+	o.Reps = 1
+	if _, err := Online(o, "fractal", 3, []float64{1000}); err == nil {
+		t.Fatal("unknown arrival process should error")
+	}
+}

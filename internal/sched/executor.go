@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"cloudqc/internal/cloud"
@@ -231,16 +232,45 @@ func Run(dag *RemoteDAG, cl *cloud.Cloud, m epr.Model, p Policy, rng *rand.Rand)
 // nextEnableTime returns the earliest readyAt among runnable nodes that
 // is after t; it must exist while the job is not done.
 func (s *JobState) nextEnableTime(t float64) float64 {
-	next := -1.0
-	for _, i := range s.runnable {
-		if s.hopsLeft[i] > 0 && s.readyAt[i] > t {
-			if next < 0 || s.readyAt[i] < next {
-				next = s.readyAt[i]
-			}
-		}
-	}
-	if next < 0 {
+	next, ok := s.NextEnableTime(t)
+	if !ok || next <= t {
 		panic(fmt.Sprintf("sched: stalled with %d remaining nodes", s.remaining))
 	}
 	return next
+}
+
+// NextEnableTime returns the earliest time >= t at which some runnable
+// node may attempt EPR generation (a node whose readyAt has passed is
+// enabled immediately, so t itself is returned). The second result is
+// false when the job has no runnable unfinished nodes — either it is
+// done, or every unfinished node still waits on predecessors.
+func (s *JobState) NextEnableTime(t float64) (float64, bool) {
+	next := math.Inf(1)
+	for _, i := range s.runnable {
+		if s.hopsLeft[i] == 0 {
+			continue
+		}
+		ra := s.readyAt[i]
+		if ra < t {
+			ra = t
+		}
+		if ra < next {
+			next = ra
+		}
+	}
+	return next, !math.IsInf(next, 1)
+}
+
+// EarliestEnableTime is the multi-job analogue of NextEnableTime: the
+// earliest time >= t at which any of the given jobs has an EPR-ready
+// node. The multi-tenant controller uses it to jump its round clock over
+// spans where every active job is waiting on local tails.
+func EarliestEnableTime(states []*JobState, t float64) (float64, bool) {
+	next := math.Inf(1)
+	for _, s := range states {
+		if ne, ok := s.NextEnableTime(t); ok && ne < next {
+			next = ne
+		}
+	}
+	return next, !math.IsInf(next, 1)
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"cloudqc/internal/qlib"
@@ -128,5 +129,97 @@ func TestPoissonBatchArrivalsNondecreasing(t *testing.T) {
 func TestPoissonBatchNegativeRateErrors(t *testing.T) {
 	if _, err := Qugan().PoissonBatch(5, -1, 3); err == nil {
 		t.Fatal("negative interarrival should error")
+	}
+}
+
+func TestPoissonBatchValidatesBeforeBuilding(t *testing.T) {
+	// A bad rate must be rejected up front, not after every circuit in
+	// the batch has been built: with an unresolvable pool, reaching the
+	// build step would surface the wrong error.
+	bad := Workload{Name: "bad", Circuits: []string{"no_such_circuit"}}
+	_, err := bad.PoissonBatch(5, -1, 3)
+	if err == nil {
+		t.Fatal("negative interarrival should error")
+	}
+	if !strings.Contains(err.Error(), "interarrival") {
+		t.Fatalf("err = %v, want interarrival validation before circuit building", err)
+	}
+}
+
+func TestUniformBatchArrivals(t *testing.T) {
+	jobs, err := QFT().UniformBatch(5, 250, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if j.Arrival != float64(i)*250 {
+			t.Fatalf("job %d arrival = %v, want %v", i, j.Arrival, float64(i)*250)
+		}
+	}
+	if _, err := QFT().UniformBatch(5, -1, 3); err == nil {
+		t.Fatal("negative interarrival should error")
+	}
+}
+
+func TestBurstyBatchArrivals(t *testing.T) {
+	const burst = 3
+	jobs, err := Qugan().BurstyBatch(10, burst, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs within one burst share an arrival instant; bursts advance.
+	for i, j := range jobs {
+		if j.Arrival != jobs[(i/burst)*burst].Arrival {
+			t.Fatalf("job %d arrival %v differs from its burst head", i, j.Arrival)
+		}
+		if i > 0 && j.Arrival < jobs[i-1].Arrival {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+	}
+	if jobs[len(jobs)-1].Arrival <= 0 {
+		t.Fatal("bursts never advanced")
+	}
+	if _, err := Qugan().BurstyBatch(5, 0, 100, 3); err == nil {
+		t.Fatal("zero burst size should error")
+	}
+	if _, err := Qugan().BurstyBatch(5, 2, -1, 3); err == nil {
+		t.Fatal("negative gap should error")
+	}
+}
+
+func TestArrivalsDispatch(t *testing.T) {
+	for _, process := range []string{"", "poisson", "uniform", "bursty"} {
+		jobs, err := Mixed().Arrivals(process, 6, 500, 4)
+		if err != nil {
+			t.Fatalf("%q: %v", process, err)
+		}
+		if len(jobs) != 6 {
+			t.Fatalf("%q: %d jobs", process, len(jobs))
+		}
+	}
+	// Same seed, any process: identical circuit draws, so processes are
+	// directly comparable.
+	poisson, _ := Mixed().Arrivals("poisson", 6, 500, 4)
+	uniform, _ := Mixed().Arrivals("uniform", 6, 500, 4)
+	for i := range poisson {
+		if poisson[i].Circuit.Name != uniform[i].Circuit.Name {
+			t.Fatal("processes should share circuit draws for a given seed")
+		}
+	}
+	if _, err := Mixed().Arrivals("warp", 6, 500, 4); err == nil {
+		t.Fatal("unknown process should error")
+	}
+}
+
+func TestArrivalsBurstyShortStreamStillSpreads(t *testing.T) {
+	// A stream shorter than DefaultBurstSize must not collapse into one
+	// burst at t=0 — that would silently turn the rate sweep into a
+	// no-op batch run.
+	jobs, err := Mixed().Arrivals("bursty", 3, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Arrival == jobs[len(jobs)-1].Arrival {
+		t.Fatal("short bursty stream degenerated into a single burst")
 	}
 }
