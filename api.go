@@ -104,6 +104,16 @@ func PolicyAverage() Policy { return sched.AveragePolicy{} }
 // PolicyRandom hands out pairs to uniformly random ready gates.
 func PolicyRandom() Policy { return sched.RandomPolicy{} }
 
+// PolicyTenantWeighted splits each round's communication-qubit budget
+// across tenants in proportion to their weights (Job.Priority) before
+// falling back to CloudQC's per-gate priority order, bounding
+// cross-tenant starvation at the EPR-allocation layer.
+func PolicyTenantWeighted() Policy { return sched.TenantWeightedPolicy{} }
+
+// ParseAdmissionMode maps a mode name — "batch", "fifo", "edf", or
+// "wfq" (empty means batch) — to the Cluster admission mode.
+func ParseAdmissionMode(s string) (AdmissionMode, error) { return core.ParseMode(s) }
+
 // CommCost is the paper's placement objective Σ D_ij·C_π(i)π(j).
 func CommCost(c *Circuit, cl *Cloud, qubitToQPU []int) float64 {
 	return place.CommCost(c, cl, qubitToQPU)
@@ -228,6 +238,31 @@ func OnlineJobs(w Workload, process string, size int, meanInterarrival float64, 
 func AggregateOnline(jcts, waits []float64, failed int, makespan float64) OnlineStats {
 	return metrics.AggregateOnline(jcts, waits, failed, makespan)
 }
+
+// MultiTenantJobs samples one merged job stream from heterogeneous
+// tenant specs: per-tenant circuit pools, arrival processes, weights,
+// and deadline distributions (deadline = arrival + circuit depth ×
+// slack). Submit the result to a Cluster in EDFMode or WFQMode — or any
+// other mode — and summarize with Outcomes + AggregateSLO.
+func MultiTenantJobs(specs []TenantSpec, seed int64) ([]*Job, error) {
+	return workload.MultiTenant(specs, seed)
+}
+
+// DefaultTenantMix builds the three-tenant mix the SLO experiments use
+// over one workload: priorities 1, 2, and 4, identical arrival
+// processes, and the default deadline slack range.
+func DefaultTenantMix(w Workload, perTenant int, process string, meanInterarrival float64) []TenantSpec {
+	return workload.DefaultTenantMix(w, perTenant, process, meanInterarrival)
+}
+
+// Outcomes converts a run's results into the plain job outcomes
+// AggregateSLO consumes.
+func Outcomes(results []*JobResult) []JobOutcome { return core.Outcomes(results) }
+
+// AggregateSLO summarizes tenant- and deadline-aware outcomes: SLO
+// attainment, Jain's fairness index over per-tenant mean JCTs, and
+// per-tenant breakdowns.
+func AggregateSLO(outcomes []JobOutcome) SLOStats { return metrics.AggregateSLO(outcomes) }
 
 // MixedWorkload returns the mixed multi-tenant workload of Fig. 14.
 func MixedWorkload() Workload { return workload.Mixed() }

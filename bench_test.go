@@ -21,10 +21,12 @@ package cloudqc
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"cloudqc/internal/exp"
+	"cloudqc/internal/sched"
 	"cloudqc/internal/workload"
 )
 
@@ -282,6 +284,100 @@ func BenchmarkClusterOnline(b *testing.B) {
 
 func BenchmarkClusterOnlineLockStep(b *testing.B) {
 	benchClusterOnline(b, (*Cluster).RunLockStep)
+}
+
+// BenchmarkClusterOnlineWFQ drives the same sparse-chain regime through
+// the tenant-aware path: a three-tenant mix (weights 1/2/4, per-tenant
+// Poisson arrivals, depth×slack deadlines) admitted by weighted fair
+// queueing with the tenant-weighted EPR allocator.
+func BenchmarkClusterOnlineWFQ(b *testing.B) {
+	const seed = 7
+	sparse := Workload{Name: "SparseChains", Circuits: []string{"ghz_n127", "cat_n130"}}
+	mix := DefaultTenantMix(sparse, 4, "poisson", 4000)
+	var rounds, events float64
+	for i := 0; i < b.N; i++ {
+		jobs, err := MultiTenantJobs(mix, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := DefaultPlacerConfig()
+		pcfg.Seed = seed
+		ct, err := NewCluster(ClusterConfig{
+			Cloud:  NewRandomCloud(20, 0.3, 20, 5, 1),
+			Placer: NewPlacer(pcfg),
+			Policy: PolicyTenantWeighted(),
+			Mode:   WFQMode,
+			Seed:   seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ct.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Failed {
+				b.Fatal("unexpected failed job")
+			}
+		}
+		rounds += float64(ct.LastRunStats().Rounds)
+		events += float64(ct.LastRunStats().Events)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/run")
+	b.ReportMetric(events/float64(b.N), "events/run")
+}
+
+// Allocation-policy micro-benchmarks: the per-round cost of dividing
+// the communication-qubit budget across competing gates. sortByPriority
+// used to copy the request slice every round; these benches pin the
+// round cost so the hot-path fix (and any future regression) shows up
+// in the CI bench trajectory.
+func benchAllocPolicy(b *testing.B, p sched.Policy) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const nQPU = 20
+	base := make([]sched.Request, 0, 120)
+	for i := 0; i < 120; i++ {
+		a := rng.Intn(nQPU)
+		c := rng.Intn(nQPU - 1)
+		if c >= a {
+			c++
+		}
+		path := []int{a, c}
+		if m := rng.Intn(nQPU); rng.Intn(3) == 0 && m != a && m != c {
+			path = []int{a, m, c} // entanglement swap at an intermediate
+		}
+		tenant := i % 3
+		base = append(base, sched.Request{
+			Key:          sched.NodeKey{Job: tenant, Node: i},
+			Path:         path,
+			Priority:     rng.Intn(30),
+			Tenant:       tenant,
+			TenantWeight: 1 << tenant,
+		})
+	}
+	reqs := make([]sched.Request, len(base))
+	budget := make([]int, nQPU)
+	arng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each round hands the policy a freshly built, unsorted slice,
+		// like the controller does.
+		copy(reqs, base)
+		for q := range budget {
+			budget[q] = 5
+		}
+		if alloc := p.Allocate(reqs, budget, arng); len(alloc) == 0 {
+			b.Fatal("no grants")
+		}
+	}
+}
+
+func BenchmarkAllocPolicyCloudQC(b *testing.B) { benchAllocPolicy(b, sched.CloudQCPolicy{}) }
+
+func BenchmarkAllocPolicyTenantWeighted(b *testing.B) {
+	benchAllocPolicy(b, sched.TenantWeightedPolicy{})
 }
 
 // Component micro-benchmarks: the pieces the end-to-end numbers are made

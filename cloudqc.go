@@ -36,8 +36,14 @@
 // or carry Arrival times for the online "incoming jobs" setting: sample
 // timed streams with OnlineJobs (Poisson, uniform-rate, or bursty
 // arrival processes) and summarize the outcome with AggregateOnline.
+// Jobs may also carry a Tenant, a Priority (fair-share weight), and an
+// SLO Deadline: sample heterogeneous tenant mixes with MultiTenantJobs,
+// admit with EDFMode (earliest deadline first) or WFQMode (weighted
+// fair queueing across tenants), bound cross-tenant starvation inside
+// each EPR round with PolicyTenantWeighted, and summarize deadline
+// attainment and Jain fairness with Outcomes + AggregateSLO.
 // For the paper's tables and figures, see the cloudqc CLI (cmd/cloudqc,
-// including its online mode) and the root-level benchmarks.
+// including its online and slo modes) and the root-level benchmarks.
 package cloudqc
 
 import (
@@ -103,6 +109,20 @@ type (
 	// OnlineStats aggregates an online run's job stream: throughput,
 	// JCT percentiles, wait times.
 	OnlineStats = metrics.OnlineStats
+	// AdmissionMode selects the Cluster's job admission order (batch,
+	// FIFO, EDF, or WFQ).
+	AdmissionMode = core.Mode
+	// TenantSpec describes one tenant of a multi-tenant mix: circuit
+	// pool, arrival process, scheduling weight, deadline distribution.
+	TenantSpec = workload.TenantSpec
+	// JobOutcome is one job's fate in the form the SLO aggregator
+	// consumes.
+	JobOutcome = metrics.JobOutcome
+	// SLOStats summarizes deadline attainment, cross-tenant fairness,
+	// and per-tenant breakdowns of a tenant-aware run.
+	SLOStats = metrics.SLOStats
+	// TenantSLO is one tenant's slice of an SLO summary.
+	TenantSLO = metrics.TenantSLO
 	// ClusterRunStats counts the scheduling rounds and events of a
 	// Cluster's last run.
 	ClusterRunStats = core.RunStats
@@ -116,4 +136,11 @@ const (
 	BatchMode = core.BatchMode
 	// FIFOMode admits jobs strictly in arrival order.
 	FIFOMode = core.FIFOMode
+	// EDFMode admits waiting jobs earliest-deadline-first (Job.Deadline;
+	// jobs without deadlines last).
+	EDFMode = core.EDFMode
+	// WFQMode is weighted fair queueing across tenants: admission is
+	// served in proportion to tenant Priority via start-time fair
+	// queueing over per-tenant virtual service.
+	WFQMode = core.WFQMode
 )

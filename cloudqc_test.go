@@ -304,3 +304,53 @@ func TestUtilizationRecorderThroughPublicAPI(t *testing.T) {
 		t.Fatal("recorder saw no utilization")
 	}
 }
+
+func TestSLOThroughPublicAPI(t *testing.T) {
+	mix := DefaultTenantMix(MixedWorkload(), 2, "poisson", 1500)
+	if len(mix) != 3 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	jobs, err := MultiTenantJobs(mix, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, err := ParseAdmissionMode("wfq")
+	if err != nil || mode != WFQMode {
+		t.Fatalf("ParseAdmissionMode = %v, %v", mode, err)
+	}
+	cluster, err := NewCluster(ClusterConfig{
+		Cloud:  NewRandomCloud(20, 0.3, 20, 5, 2),
+		Policy: PolicyTenantWeighted(),
+		Mode:   mode,
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := cluster.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AggregateSLO(Outcomes(results))
+	if len(s.PerTenant) != 3 {
+		t.Fatalf("per-tenant rows = %+v", s.PerTenant)
+	}
+	if !(s.Attainment >= 0 && s.Attainment <= 1) {
+		t.Fatalf("attainment = %v", s.Attainment)
+	}
+	if !(s.Fairness > 0 && s.Fairness <= 1+1e-12) {
+		t.Fatalf("fairness = %v", s.Fairness)
+	}
+	// EDF through the public constants works too.
+	edf, err := NewCluster(ClusterConfig{Cloud: NewRandomCloud(20, 0.3, 20, 5, 2), Mode: EDFMode, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs2, err := MultiTenantJobs(mix, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edf.Run(jobs2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Command benchjson turns `go test -bench` output into a JSON artifact
+// and compares two such artifacts for performance regressions. It is
+// the engine of CI's bench job: every PR emits a BENCH_<sha>.json
+// artifact, and the ClusterOnline benchmarks are compared against the
+// previous main-branch artifact, failing the job on >25% regressions of
+// the gated metrics — CI gates on the deterministic scheduling-round
+// counts (rounds/run, events/run) and reports wall time (ns/op) for the
+// trajectory without failing on it, since single-iteration timings on
+// shared runners are noisy.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson emit -o BENCH_abc.json
+//	benchjson compare -threshold 0.25 -match ClusterOnline -metrics rounds/run,events/run old.json new.json
+//
+// emit reads benchmark output on stdin and writes JSON mapping each
+// benchmark name (Benchmark prefix and -GOMAXPROCS suffix stripped) to
+// its metrics: ns/op plus any custom b.ReportMetric units. compare
+// exits nonzero when any metric of any benchmark matching -match
+// regressed by more than -threshold (fractional; 0.25 = 25%). Metrics
+// where smaller is better are assumed throughout — true for ns/op,
+// rounds/run, and events/run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Artifact is the persisted benchmark snapshot.
+type Artifact struct {
+	// Benchmarks maps benchmark name to metric unit to value.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchjson emit [-o FILE] | benchjson compare [-threshold F] [-match RE] OLD NEW")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "emit":
+		fs := flag.NewFlagSet("emit", flag.ContinueOnError)
+		out := fs.String("o", "", "output file (default stdout)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		art, err := parseBench(stdin)
+		if err != nil {
+			return err
+		}
+		if len(art.Benchmarks) == 0 {
+			return fmt.Errorf("no benchmark lines found on stdin")
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			_, err = stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(*out, data, 0o644)
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+		threshold := fs.Float64("threshold", 0.25, "fractional regression that fails the comparison")
+		match := fs.String("match", "", "regexp selecting benchmark names to gate on (default: all)")
+		gate := fs.String("metrics", "", "comma-separated metric units that gate (default: all); others are report-only")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() != 2 {
+			return fmt.Errorf("compare wants OLD and NEW artifact paths, got %d args", fs.NArg())
+		}
+		old, err := loadArtifact(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		cur, err := loadArtifact(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		report, regressions, err := compare(old, cur, *match, *threshold, gateSet(*gate))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, report)
+		if regressions > 0 {
+			return fmt.Errorf("%d metric(s) regressed more than %.0f%%", regressions, *threshold*100)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want emit or compare)", cmd)
+	}
+}
+
+// benchLine matches one `go test -bench` result line: name, iteration
+// count, then whitespace-separated "value unit" metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parseBench extracts benchmark metrics from `go test -bench` output.
+// Non-benchmark lines (experiment tables, goos/PASS/ok trailers) are
+// ignored.
+func parseBench(r io.Reader) (*Artifact, error) {
+	art := &Artifact{Benchmarks: make(map[string]map[string]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			continue // not a metric-pair tail; some other line that happened to match
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		ok := true
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if !ok || len(metrics) == 0 {
+			continue
+		}
+		art.Benchmarks[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+func loadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// gateSet parses compare's -metrics flag: nil (gate on everything) for
+// the empty string, else the set of metric units allowed to gate.
+func gateSet(s string) map[string]bool {
+	if s == "" {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			set[u] = true
+		}
+	}
+	return set
+}
+
+// compare reports metric deltas for benchmarks whose name matches the
+// pattern, counting how many exceeded the regression threshold.
+// Benchmarks present on only one side are listed loudly but never
+// gate: a new benchmark has no baseline, and failing on a removed one
+// would hard-block legitimate renames (the baseline self-corrects on
+// the next main push) — the MISSING line is the signal that the gate's
+// coverage changed. When gate is non-nil, only units in it gate — the
+// rest are report-only (CI gates on the deterministic rounds/run and
+// events/run counters; single-iteration ns/op across heterogeneous
+// shared runners is too noisy to fail a PR on and is reported for the
+// trajectory only).
+func compare(old, cur *Artifact, pattern string, threshold float64, gate map[string]bool) (string, int, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad -match pattern: %w", err)
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var removed []string
+	for name := range old.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok && re.MatchString(name) {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	var b strings.Builder
+	regressions := 0
+	for _, name := range names {
+		prev, ok := old.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-40s new benchmark, no baseline\n", name)
+			continue
+		}
+		units := make([]string, 0, len(cur.Benchmarks[name]))
+		for u := range cur.Benchmarks[name] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			now := cur.Benchmarks[name][u]
+			was, ok := prev[u]
+			if !ok {
+				fmt.Fprintf(&b, "%-40s %-12s %14.4g  (no baseline)\n", name, u, now)
+				continue
+			}
+			delta := 0.0
+			if was != 0 {
+				delta = (now - was) / was
+			}
+			verdict := "ok"
+			switch {
+			case delta > threshold && (gate == nil || gate[u]):
+				verdict = "REGRESSION"
+				regressions++
+			case delta > threshold:
+				verdict = "regressed (report-only metric)"
+			}
+			fmt.Fprintf(&b, "%-40s %-12s %14.4g -> %-14.4g %+7.1f%%  %s\n",
+				name, u, was, now, delta*100, verdict)
+		}
+	}
+	for _, name := range removed {
+		fmt.Fprintf(&b, "%-40s MISSING from new artifact — renamed or removed? The regression gate no longer covers it.\n", name)
+	}
+	if len(names) == 0 && len(removed) == 0 {
+		fmt.Fprintf(&b, "no benchmarks matched %q\n", pattern)
+	}
+	return b.String(), regressions, nil
+}

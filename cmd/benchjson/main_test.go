@@ -1,0 +1,183 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: cloudqc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+
+=== Fig 22 (relative JCT by scheduling policy, subset) ===
+Circuit     CloudQC  Greedy
+----------------------------
+knn_n129    1.00     1.35
+
+BenchmarkClusterOnline-8             	       1	 669246156 ns/op	       130.0 events/run	       107.0 rounds/run
+BenchmarkClusterOnlineLockStep-8     	       1	 661902049 ns/op	         0 events/run	       310.0 rounds/run
+BenchmarkAllocPolicyCloudQC-8        	   51244	     21424 ns/op
+PASS
+ok  	cloudqc	2.003s
+`
+
+func TestParseBench(t *testing.T) {
+	art, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(art.Benchmarks), art.Benchmarks)
+	}
+	co := art.Benchmarks["ClusterOnline"]
+	if co == nil {
+		t.Fatalf("ClusterOnline missing (GOMAXPROCS suffix not stripped?): %v", art.Benchmarks)
+	}
+	if co["ns/op"] != 669246156 || co["rounds/run"] != 107 || co["events/run"] != 130 {
+		t.Fatalf("ClusterOnline metrics = %v", co)
+	}
+	if art.Benchmarks["AllocPolicyCloudQC"]["ns/op"] != 21424 {
+		t.Fatalf("AllocPolicyCloudQC = %v", art.Benchmarks["AllocPolicyCloudQC"])
+	}
+}
+
+func art(ns, rounds float64) *Artifact {
+	return &Artifact{Benchmarks: map[string]map[string]float64{
+		"ClusterOnline":      {"ns/op": ns, "rounds/run": rounds},
+		"AllocPolicyCloudQC": {"ns/op": 20000},
+	}}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	report, n, err := compare(art(100, 100), art(120, 100), "ClusterOnline", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("within-threshold drift flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "ClusterOnline") || !strings.Contains(report, "+20.0%") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	report, n, err := compare(art(100, 100), art(100, 140), "ClusterOnline", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", n, report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestCompareMatchScopesGate(t *testing.T) {
+	// AllocPolicy doubles, but the gate only covers ClusterOnline.
+	cur := art(100, 100)
+	cur.Benchmarks["AllocPolicyCloudQC"]["ns/op"] = 40000
+	_, n, err := compare(art(100, 100), cur, "ClusterOnline", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("out-of-scope benchmark gated: %d", n)
+	}
+	// Widening the match catches it.
+	_, n, err = compare(art(100, 100), cur, "", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("want 1 regression with empty match, got %d", n)
+	}
+}
+
+func TestCompareHandlesMissingBaseline(t *testing.T) {
+	old := &Artifact{Benchmarks: map[string]map[string]float64{}}
+	report, n, err := compare(old, art(100, 100), "", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("new benchmarks must not gate: %d\n%s", n, report)
+	}
+	if !strings.Contains(report, "no baseline") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestEmitCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := run([]string{"emit", "-o", oldPath}, strings.NewReader(sampleBench), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	// A 2x rounds/run regression on ClusterOnline.
+	regressed := strings.Replace(sampleBench, "107.0 rounds/run", "214.0 rounds/run", 1)
+	if err := run([]string{"emit", "-o", newPath}, strings.NewReader(regressed), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"compare", "-match", "ClusterOnline", oldPath, newPath}, nil, &out); err == nil {
+		t.Fatalf("doubled rounds/run should fail the gate:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"compare", "-match", "ClusterOnline", oldPath, oldPath}, nil, &out); err != nil {
+		t.Fatalf("identical artifacts should pass: %v\n%s", err, out.String())
+	}
+}
+
+func TestEmitRejectsEmptyInput(t *testing.T) {
+	if err := run([]string{"emit"}, strings.NewReader("no benchmarks here\n"), os.Stdout); err == nil {
+		t.Fatal("empty bench output should error")
+	}
+}
+
+func TestCompareMetricGateScopesUnits(t *testing.T) {
+	// ns/op regresses 3x but only rounds/run gates: report-only.
+	gate := gateSet("rounds/run,events/run")
+	report, n, err := compare(art(100, 100), art(300, 100), "ClusterOnline", 0.25, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("report-only ns/op regression gated: %d\n%s", n, report)
+	}
+	if !strings.Contains(report, "report-only") {
+		t.Fatalf("report should mark the non-gated regression:\n%s", report)
+	}
+	// A gated metric still fails.
+	_, n, err = compare(art(100, 100), art(100, 200), "ClusterOnline", 0.25, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("gated rounds/run regression missed: %d", n)
+	}
+	if gateSet("") != nil {
+		t.Fatal("empty gate list should mean gate-on-everything (nil)")
+	}
+}
+
+func TestCompareListsRemovedBenchmarks(t *testing.T) {
+	cur := &Artifact{Benchmarks: map[string]map[string]float64{
+		"ClusterOnlineRenamed": {"ns/op": 100, "rounds/run": 100},
+	}}
+	report, n, err := compare(art(100, 100), cur, "ClusterOnline", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("removed benchmark must not gate: %d\n%s", n, report)
+	}
+	if !strings.Contains(report, "MISSING") || !strings.Contains(report, "ClusterOnline ") {
+		t.Fatalf("removed baseline benchmark not surfaced:\n%s", report)
+	}
+}

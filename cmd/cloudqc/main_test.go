@@ -133,3 +133,38 @@ func TestIdxMapping(t *testing.T) {
 		}
 	}
 }
+
+func TestRunOnlineModeFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"online", "-jobs", "3", "-reps", "1",
+			"-interarrivals", "2000", "-process", "uniform", "-mode", "edf"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "edf admission") {
+		t.Fatalf("online -mode edf output:\n%s", out)
+	}
+	if err := run([]string{"online", "-jobs", "3", "-mode", "lifo"}); err == nil {
+		t.Fatal("unknown -mode should error")
+	}
+}
+
+func TestRunSLOMode(t *testing.T) {
+	// Shrink the SLO figure to a smoke run: 3 tenants x 1 job, one rate.
+	out, err := capture(t, func() error {
+		return run([]string{"slo", "-jobs", "1", "-reps", "1",
+			"-interarrivals", "2000", "-process", "uniform"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"slo mode", "Attain", "Jain", "WFQ+TW", "EDF", "Mixed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slo output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"slo", "-jobs", "0"}); err == nil {
+		t.Fatal("non-positive -jobs should error")
+	}
+}

@@ -38,6 +38,27 @@ type Job struct {
 	Circuit *circuit.Circuit
 	// Arrival is the submission time (0 for batch mode).
 	Arrival float64
+	// Tenant identifies the submitting tenant; the zero value is the
+	// single default tenant of tenant-oblivious workloads.
+	Tenant int
+	// Priority is the tenant's scheduling weight: WFQ admission serves
+	// tenants in proportion to it, and the tenant-weighted allocation
+	// policy splits each round's communication budget by it.
+	// Non-positive means 1.
+	Priority int
+	// Deadline is the job's absolute SLO deadline in CX units; EDF
+	// admission orders by it and metrics report attainment against it.
+	// Zero or negative means the job carries no deadline.
+	Deadline float64
+}
+
+// weight resolves the job's scheduling weight (non-positive Priority
+// defaults to 1).
+func (j *Job) weight() float64 {
+	if j.Priority <= 0 {
+		return 1
+	}
+	return float64(j.Priority)
 }
 
 // JobResult reports one job's fate.
@@ -85,7 +106,37 @@ const (
 	BatchMode Mode = iota + 1
 	// FIFOMode admits strictly in arrival order (CloudQC-FIFO baseline).
 	FIFOMode
+	// EDFMode admits waiting jobs earliest-deadline-first: ascending
+	// absolute Deadline, jobs without deadlines last, ties by arrival
+	// then ID. With all-equal deadlines it reduces to FIFO order.
+	EDFMode
+	// WFQMode is weighted fair queueing across tenants (start-time fair
+	// queueing): each tenant accumulates virtual service — placed
+	// intensity divided by its weight — and admission repeatedly takes
+	// the cheapest waiting job of the least-served backlogged tenant. A
+	// tenant going idle is not credited for the idle span (its virtual
+	// service restarts at the global virtual time), so weights bound
+	// each tenant's share of admissions without letting a latecomer
+	// starve the rest. With a single tenant it reduces to batch
+	// (ascending-intensity) order.
+	WFQMode
 )
+
+// ParseMode maps a CLI mode name to its admission mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "batch":
+		return BatchMode, nil
+	case "fifo":
+		return FIFOMode, nil
+	case "edf":
+		return EDFMode, nil
+	case "wfq":
+		return WFQMode, nil
+	default:
+		return 0, fmt.Errorf("core: unknown admission mode %q (want batch, fifo, edf, or wfq)", s)
+	}
+}
 
 // Config assembles a Controller.
 type Config struct {
@@ -126,6 +177,11 @@ type Controller struct {
 	rng *rand.Rand
 	// intensity memoizes Eq. 11 per job ID for the batch manager's sort.
 	intensity map[int]float64
+	// service is WFQ admission's per-tenant virtual service (placed
+	// intensity / weight) and vtime the global virtual time (the start
+	// tag of the last admission); both reset per run.
+	service map[int]float64
+	vtime   float64
 	// stats describes the last Run/RunLockStep call.
 	stats RunStats
 }
@@ -156,6 +212,9 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = BatchMode
+	}
+	if cfg.Mode < BatchMode || cfg.Mode > WFQMode {
+		return nil, fmt.Errorf("core: unknown admission mode %d", cfg.Mode)
 	}
 	for i := 0; i < cfg.Cloud.NumQPUs(); i++ {
 		if cfg.Cloud.QPU(i).Comm < 1 {
@@ -190,6 +249,13 @@ type release struct {
 // the batch sort), and duplicate IDs.
 func (ct *Controller) prepare(jobs []*Job) (map[int]*JobResult, int, error) {
 	results := make(map[int]*JobResult, len(jobs))
+	// Per-run scheduling state restarts with every run: the WFQ virtual
+	// clocks, and the intensity memo — job IDs are only unique within
+	// one Run, so a reused Controller must not bill a new stream's jobs
+	// at a previous stream's circuits' intensities.
+	ct.service = make(map[int]float64)
+	ct.vtime = 0
+	ct.intensity = make(map[int]float64, len(jobs))
 	totalComputing := 0
 	for i := 0; i < ct.cfg.Cloud.NumQPUs(); i++ {
 		totalComputing += ct.cfg.Cloud.QPU(i).Computing
@@ -418,13 +484,7 @@ func (st *runState) tick() {
 	// round cadence of already-running jobs is preserved.
 	if !math.IsNaN(st.nextRound) && t >= st.nextRound {
 		ct.stats.Rounds++
-		var reqs []sched.Request
-		readyByJob := make(map[int][]int, len(st.active))
-		for idx, aj := range st.active {
-			ready := aj.state.Ready(t)
-			readyByJob[idx] = ready
-			reqs = append(reqs, aj.state.Requests(idx, ready)...)
-		}
+		reqs, readyByJob := collectRequests(st.active, t)
 		if len(reqs) > 0 {
 			for i := range st.budget {
 				st.budget[i] = ct.cfg.Cloud.QPU(i).Comm
@@ -523,8 +583,9 @@ func (st *runState) scheduleNext(t float64) {
 	st.requestTick(next)
 }
 
-// admit tries to place every waiting job that has arrived, in batch or
-// FIFO order. Jobs larger than the whole cloud are marked failed.
+// admit tries to place every waiting job that has arrived, in the
+// configured admission order (batch intensity, FIFO, EDF, or WFQ). Jobs
+// larger than the whole cloud are marked failed.
 func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*JobResult, t float64, totalComputing int) ([]*Job, []*activeJob, error) {
 	arrived := make([]*Job, 0, len(queue))
 	var waiting []*Job
@@ -535,19 +596,7 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 			waiting = append(waiting, j)
 		}
 	}
-	if ct.cfg.Mode == BatchMode {
-		for _, j := range arrived {
-			if _, ok := ct.intensity[j.ID]; !ok {
-				ct.intensity[j.ID] = Intensity(j.Circuit, ct.cfg.Weights)
-			}
-		}
-		// Ascending intensity: the metric estimates a job's cost (2-qubit
-		// density, width, depth), so cheapest-first minimizes mean JCT —
-		// the ordering that yields the paper's CDF improvement over FIFO.
-		sort.SliceStable(arrived, func(i, k int) bool {
-			return ct.intensity[arrived[i].ID] < ct.intensity[arrived[k].ID]
-		})
-	}
+	ct.orderArrived(arrived)
 	for _, j := range arrived {
 		if j.Circuit.NumQubits() > totalComputing {
 			results[j.ID].Failed = true
@@ -568,6 +617,11 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 			waiting = append(waiting, j)
 			continue
 		}
+		if ct.cfg.Mode == WFQMode {
+			// Bill only what was actually served: jobs bounced back to
+			// waiting must not inflate their tenant's virtual service.
+			ct.chargeWFQ(j)
+		}
 		dag := sched.BuildRemoteDAG(j.Circuit, ct.cfg.Cloud, pl.QubitToQPU, ct.cfg.Model.Latency)
 		state := sched.NewJobState(dag, t)
 		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t})
@@ -583,4 +637,178 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 		return waiting[i].ID < waiting[k].ID
 	})
 	return waiting, active, nil
+}
+
+// orderArrived sorts the arrived-and-waiting jobs into this round's
+// admission order for the configured mode; FIFO leaves the queue's
+// (arrival, ID) order untouched.
+func (ct *Controller) orderArrived(arrived []*Job) {
+	switch ct.cfg.Mode {
+	case BatchMode:
+		ct.memoizeIntensity(arrived)
+		// Ascending intensity: the metric estimates a job's cost (2-qubit
+		// density, width, depth), so cheapest-first minimizes mean JCT —
+		// the ordering that yields the paper's CDF improvement over FIFO.
+		sort.SliceStable(arrived, func(i, k int) bool {
+			return ct.intensity[arrived[i].ID] < ct.intensity[arrived[k].ID]
+		})
+	case EDFMode:
+		// Earliest absolute deadline first; deadline-free jobs sort last.
+		// The (arrival, ID) tie-break makes all-equal deadlines reduce to
+		// FIFO for streams submitted in (arrival, ID) order.
+		sort.SliceStable(arrived, func(i, k int) bool {
+			di, dk := deadlineOf(arrived[i]), deadlineOf(arrived[k])
+			if di != dk {
+				return di < dk
+			}
+			if arrived[i].Arrival != arrived[k].Arrival {
+				return arrived[i].Arrival < arrived[k].Arrival
+			}
+			return arrived[i].ID < arrived[k].ID
+		})
+	case WFQMode:
+		ct.memoizeIntensity(arrived)
+		ct.wfqOrder(arrived)
+	}
+}
+
+// memoizeIntensity caches Eq. 11 per job for the intensity-driven
+// admission orders.
+func (ct *Controller) memoizeIntensity(jobs []*Job) {
+	for _, j := range jobs {
+		if _, ok := ct.intensity[j.ID]; !ok {
+			ct.intensity[j.ID] = Intensity(j.Circuit, ct.cfg.Weights)
+		}
+	}
+}
+
+// deadlineOf treats unset deadlines as infinitely late for EDF ordering.
+func deadlineOf(j *Job) float64 {
+	if j.Deadline <= 0 {
+		return math.Inf(1)
+	}
+	return j.Deadline
+}
+
+// wfqOrder arranges arrived into weighted fair admission order by
+// simulating start-time fair queueing on scratch copies of the virtual
+// clocks: each tenant's jobs queue in ascending (intensity, arrival,
+// ID) order, and the next slot goes to the head job with the smallest
+// start tag max(service[tenant], vtime) — ties to the smaller finish
+// tag start + intensity/weight, then the smaller tenant id. The scratch
+// clocks are charged as if every job were placed so one tenant's many
+// cheap jobs cannot all outrank a rival's single expensive one; the
+// real clocks advance only when a job actually reserves capacity (see
+// chargeWFQ), so jobs bounced back to waiting are never billed. With a
+// single tenant the order degenerates to ascending intensity — batch
+// order.
+func (ct *Controller) wfqOrder(arrived []*Job) {
+	if len(arrived) < 2 {
+		return
+	}
+	byTenant := make(map[int][]*Job)
+	var tenants []int
+	for _, j := range arrived {
+		if _, ok := byTenant[j.Tenant]; !ok {
+			tenants = append(tenants, j.Tenant)
+		}
+		byTenant[j.Tenant] = append(byTenant[j.Tenant], j)
+	}
+	sort.Ints(tenants)
+	for _, tn := range tenants {
+		g := byTenant[tn]
+		sort.SliceStable(g, func(i, k int) bool {
+			ii, ik := ct.intensity[g[i].ID], ct.intensity[g[k].ID]
+			if ii != ik {
+				return ii < ik
+			}
+			if g[i].Arrival != g[k].Arrival {
+				return g[i].Arrival < g[k].Arrival
+			}
+			return g[i].ID < g[k].ID
+		})
+	}
+	service := make(map[int]float64, len(tenants))
+	for _, tn := range tenants {
+		service[tn] = ct.service[tn]
+	}
+	vtime := ct.vtime
+	cursor := make(map[int]int, len(tenants))
+	for i := range arrived {
+		best := -1
+		var bestStart, bestFinish float64
+		for _, tn := range tenants {
+			if cursor[tn] >= len(byTenant[tn]) {
+				continue
+			}
+			j := byTenant[tn][cursor[tn]]
+			start := service[tn]
+			if start < vtime {
+				start = vtime
+			}
+			finish := start + ct.intensity[j.ID]/j.weight()
+			if best < 0 || start < bestStart || (start == bestStart && finish < bestFinish) {
+				best, bestStart, bestFinish = tn, start, finish
+			}
+		}
+		j := byTenant[best][cursor[best]]
+		cursor[best]++
+		arrived[i] = j
+		service[best] = bestFinish
+		vtime = bestStart
+	}
+}
+
+// chargeWFQ bills a successfully placed job to its tenant's virtual
+// service and advances the global virtual time to the job's start tag.
+// Starting at max(service, vtime) denies credit for idle spans: a
+// tenant that submitted nothing for a while competes from the current
+// virtual time, not from its stale low service.
+func (ct *Controller) chargeWFQ(j *Job) {
+	start := ct.service[j.Tenant]
+	if start < ct.vtime {
+		start = ct.vtime
+	}
+	ct.service[j.Tenant] = start + ct.intensity[j.ID]/j.weight()
+	ct.vtime = start
+}
+
+// collectRequests gathers one round's policy requests across the active
+// jobs, tagging each request with its submitting tenant and weight for
+// tenant-aware allocation policies. It also returns each job's ready
+// node set, which the caller replays into Attempt after allocation.
+func collectRequests(active []*activeJob, t float64) ([]sched.Request, map[int][]int) {
+	var reqs []sched.Request
+	readyByJob := make(map[int][]int, len(active))
+	for idx, aj := range active {
+		ready := aj.state.Ready(t)
+		readyByJob[idx] = ready
+		rs := aj.state.Requests(idx, ready)
+		for i := range rs {
+			rs[i].Tenant = aj.job.Tenant
+			rs[i].TenantWeight = aj.job.Priority
+		}
+		reqs = append(reqs, rs...)
+	}
+	return reqs, readyByJob
+}
+
+// Outcomes converts run results into the metrics layer's plain job
+// outcomes for SLO aggregation (deadline attainment, cross-tenant
+// fairness, per-tenant breakdowns).
+func Outcomes(results []*JobResult) []metrics.JobOutcome {
+	out := make([]metrics.JobOutcome, 0, len(results))
+	for _, r := range results {
+		o := metrics.JobOutcome{
+			Tenant:   r.Job.Tenant,
+			Weight:   r.Job.Priority,
+			Failed:   r.Failed,
+			Deadline: r.Job.Deadline,
+		}
+		if !r.Failed {
+			o.JCT, o.Finished = r.JCT, r.Finished
+		}
+		out = append(out, o)
+	}
+	return out
 }

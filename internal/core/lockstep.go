@@ -82,13 +82,7 @@ func (ct *Controller) RunLockStep(jobs []*Job) ([]*JobResult, error) {
 		}
 
 		// One shared EPR round across every active job.
-		var reqs []sched.Request
-		readyByJob := make(map[int][]int, len(active))
-		for idx, aj := range active {
-			ready := aj.state.Ready(t)
-			readyByJob[idx] = ready
-			reqs = append(reqs, aj.state.Requests(idx, ready)...)
-		}
+		reqs, readyByJob := collectRequests(active, t)
 		if len(reqs) > 0 {
 			for i := range budget {
 				budget[i] = ct.cfg.Cloud.QPU(i).Comm

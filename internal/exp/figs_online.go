@@ -31,18 +31,26 @@ type onlineRep struct {
 
 // Online evaluates the paper's "incoming jobs" setting across the four
 // evaluation workloads: jobs arrive over time (arrival process
-// "poisson", "uniform", or "bursty"; see workload.Arrivals), the batch
-// manager admits and places them as capacity allows, and each cell
-// reports throughput, JCT percentiles, wait time, and mean utilization.
-// Sweeping interarrivals traces JCT and utilization vs. arrival rate —
-// faster arrivals mean deeper queues, longer waits, higher utilization.
+// "poisson", "uniform", or "bursty"; see workload.Arrivals), the
+// admission manager (mode; 0 means batch) admits and places them as
+// capacity allows, and each cell reports throughput, JCT percentiles,
+// wait time, and mean utilization. Sweeping interarrivals traces JCT
+// and utilization vs. arrival rate — faster arrivals mean deeper
+// queues, longer waits, higher utilization.
+//
+// Online streams are tenant-oblivious and deadline-free, so EDFMode
+// reduces to FIFO order and WFQMode to batch order here; SLO is the
+// figure where those modes differentiate.
 //
 // Tasks fan out to the experiment worker pool: one point per
 // (workload × rate), with arrival rates sharing per-rep streams so each
 // column of the figure faces the same job population at different
 // spacings.
-func Online(o Options, process string, size int, interarrivals []float64) ([]OnlineRow, error) {
+func Online(o Options, process string, size int, interarrivals []float64, mode core.Mode) ([]OnlineRow, error) {
 	o = o.withDefaults()
+	if mode == 0 {
+		mode = core.BatchMode
+	}
 	if size == 0 {
 		size = 10
 	}
@@ -73,7 +81,7 @@ func Online(o Options, process string, size int, interarrivals []float64) ([]Onl
 			Placer:   place.NewCloudQC(pCfg),
 			Policy:   sched.CloudQCPolicy{},
 			Model:    o.model(),
-			Mode:     core.BatchMode,
+			Mode:     mode,
 			Seed:     seed,
 			Recorder: rec,
 		})

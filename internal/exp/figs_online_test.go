@@ -9,7 +9,7 @@ import (
 func TestOnlineRowsCoverWorkloadsAndRates(t *testing.T) {
 	o := Defaults()
 	o.Reps = 1
-	rows, err := Online(o, "poisson", 4, []float64{1000, 5000})
+	rows, err := Online(o, "poisson", 4, []float64{1000, 5000}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestOnlineDeterministicAcrossWorkers(t *testing.T) {
 		o := Defaults()
 		o.Reps = 1
 		o.Workers = workers
-		rows, err := Online(o, "bursty", 4, []float64{2000})
+		rows, err := Online(o, "bursty", 4, []float64{2000}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestOnlineDeterministicAcrossWorkers(t *testing.T) {
 func TestOnlineUnknownProcessErrors(t *testing.T) {
 	o := Defaults()
 	o.Reps = 1
-	if _, err := Online(o, "fractal", 3, []float64{1000}); err == nil {
+	if _, err := Online(o, "fractal", 3, []float64{1000}, 0); err == nil {
 		t.Fatal("unknown arrival process should error")
 	}
 }

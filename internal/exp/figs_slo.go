@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+// sloMethod is one line of the SLO figure: an admission mode paired
+// with an EPR allocation policy.
+type sloMethod struct {
+	name   string
+	mode   core.Mode
+	policy sched.Policy
+}
+
+// sloMethods are the figure's schedulers: the two CloudQC baselines,
+// the two deadline/tenant-aware admission modes, and WFQ admission
+// combined with the tenant-weighted EPR allocator (starvation bounded
+// at both layers).
+func sloMethods() []sloMethod {
+	return []sloMethod{
+		{"Batch", core.BatchMode, sched.CloudQCPolicy{}},
+		{"FIFO", core.FIFOMode, sched.CloudQCPolicy{}},
+		{"EDF", core.EDFMode, sched.CloudQCPolicy{}},
+		{"WFQ", core.WFQMode, sched.CloudQCPolicy{}},
+		{"WFQ+TW", core.WFQMode, sched.TenantWeightedPolicy{}},
+	}
+}
+
+// SLORow is one (workload × arrival rate × scheduler) cell of the SLO
+// figure: deadline attainment, cross-tenant fairness, and job-stream
+// statistics for a three-tenant mix (priorities 1/2/4) under the given
+// scheduler.
+type SLORow struct {
+	Workload         string
+	MeanInterarrival float64
+	Method           string
+	// SLO aggregates deadline attainment, Jain fairness over per-tenant
+	// mean JCTs, and per-tenant breakdowns across all reps.
+	SLO metrics.SLOStats
+	// Stream summarizes throughput/JCT/wait like the online figure.
+	Stream metrics.OnlineStats
+}
+
+// sloRep is one (workload × rate × method × rep) task's raw outcome.
+type sloRep struct {
+	outcomes    []metrics.JobOutcome
+	jcts, waits []float64
+	failed      int
+	makespan    float64
+}
+
+// SLO evaluates tenant- and deadline-aware scheduling across the four
+// evaluation workloads: each cell runs a three-tenant mix (weights 1, 2,
+// and 4, per-tenant arrival processes, deadlines drawn from circuit
+// depth × slack) under Batch, FIFO, EDF, WFQ, and WFQ with the
+// tenant-weighted EPR allocator, reporting SLO attainment, Jain's
+// fairness index over per-tenant mean JCTs, and the usual job-stream
+// statistics. Sweeping interarrivals traces attainment and fairness vs
+// load.
+//
+// Tasks fan out to the experiment worker pool. Seeding follows the
+// package convention: the per-task seed depends on (workload, rep)
+// only, so every arrival rate and every scheduler faces the same tenant
+// mixes and the sweep isolates load and scheduling discipline.
+func SLO(o Options, process string, perTenant int, interarrivals []float64) ([]SLORow, error) {
+	o = o.withDefaults()
+	if perTenant == 0 {
+		perTenant = 4
+	}
+	if perTenant < 0 {
+		return nil, fmt.Errorf("exp: negative per-tenant stream size %d", perTenant)
+	}
+	if len(interarrivals) == 0 {
+		interarrivals = []float64{500, 2000, 8000}
+	}
+	workloads := workload.All()
+	methods := sloMethods()
+	points := len(workloads) * len(interarrivals) * len(methods)
+	reps, err := runIndexed(o.workers(), points*o.Reps, func(i int) (sloRep, error) {
+		pt, rep := i/o.Reps, i%o.Reps
+		wi := pt / (len(interarrivals) * len(methods))
+		ii := pt / len(methods) % len(interarrivals)
+		mi := pt % len(methods)
+		// Seed by (workload, rep) only: every rate and every scheduler
+		// replays the same tenant mixes, so a cell difference isolates
+		// the load level or the scheduling discipline, never the draw.
+		seed := taskSeed(o.Seed, wi, rep)
+		mix := workload.DefaultTenantMix(workloads[wi], perTenant, process, interarrivals[ii])
+		jobs, err := workload.MultiTenant(mix, seed)
+		if err != nil {
+			return sloRep{}, err
+		}
+		pCfg := place.DefaultConfig()
+		pCfg.Seed = seed
+		ct, err := core.NewController(core.Config{
+			Cloud:  o.cloudFor(),
+			Placer: place.NewCloudQC(pCfg),
+			Policy: methods[mi].policy,
+			Model:  o.model(),
+			Mode:   methods[mi].mode,
+			Seed:   seed,
+		})
+		if err != nil {
+			return sloRep{}, err
+		}
+		results, err := ct.Run(jobs)
+		if err != nil {
+			return sloRep{}, fmt.Errorf("slo %s %s ia=%v rep %d: %w",
+				workloads[wi].Name, methods[mi].name, interarrivals[ii], rep, err)
+		}
+		r := sloRep{outcomes: core.Outcomes(results)}
+		for _, res := range results {
+			if res.Failed {
+				r.failed++
+				continue
+			}
+			r.jcts = append(r.jcts, res.JCT)
+			r.waits = append(r.waits, res.WaitTime)
+			if res.Finished > r.makespan {
+				r.makespan = res.Finished
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SLORow, 0, points)
+	for pt := 0; pt < points; pt++ {
+		wi := pt / (len(interarrivals) * len(methods))
+		ii := pt / len(methods) % len(interarrivals)
+		mi := pt % len(methods)
+		var outcomes []metrics.JobOutcome
+		var jcts, waits []float64
+		failed := 0
+		var makespan float64
+		for rep := 0; rep < o.Reps; rep++ {
+			r := reps[pt*o.Reps+rep]
+			outcomes = append(outcomes, r.outcomes...)
+			jcts = append(jcts, r.jcts...)
+			waits = append(waits, r.waits...)
+			failed += r.failed
+			makespan += r.makespan
+		}
+		rows = append(rows, SLORow{
+			Workload:         workloads[wi].Name,
+			MeanInterarrival: interarrivals[ii],
+			Method:           methods[mi].name,
+			SLO:              metrics.AggregateSLO(outcomes),
+			Stream:           metrics.AggregateOnline(jcts, waits, failed, makespan),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSLO renders SLO rows grouped by workload and arrival rate.
+func RenderSLO(rows []SLORow) string {
+	headers := []string{"Workload", "Interarrival", "Scheduler", "Done", "Fail",
+		"Attain", "Jain", "MeanJCT", "P99JCT", "MeanWait"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload,
+			stats.F(r.MeanInterarrival),
+			r.Method,
+			fmt.Sprintf("%d", r.Stream.Completed),
+			fmt.Sprintf("%d", r.Stream.Failed),
+			fmtFrac(r.SLO.Attainment),
+			fmtFrac(r.SLO.Fairness),
+			stats.F(r.Stream.MeanJCT),
+			stats.F(r.Stream.P99JCT),
+			stats.F(r.Stream.MeanWait),
+		})
+	}
+	return stats.Table(headers, out)
+}
+
+// fmtFrac renders a [0,1] statistic with two decimals, and the
+// undefined (NaN) case — no deadline-carrying jobs, no completed
+// tenants — as "-".
+func fmtFrac(x float64) string {
+	if math.IsNaN(x) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", x)
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sloTestOptions(workers int) Options {
+	o := Defaults()
+	o.Reps = 1
+	o.Workers = workers
+	return o
+}
+
+func TestSLORowsCoverGrid(t *testing.T) {
+	rows, err := SLO(sloTestOptions(0), "poisson", 2, []float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads × 1 rate × 5 schedulers.
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	schedulers := map[string]bool{}
+	for _, r := range rows {
+		schedulers[r.Method] = true
+		if r.Stream.Completed+r.Stream.Failed != 6 {
+			t.Fatalf("row %s/%s accounts for %d jobs, want 6",
+				r.Workload, r.Method, r.Stream.Completed+r.Stream.Failed)
+		}
+		if r.Stream.Completed > 0 {
+			if !(r.SLO.Attainment >= 0 && r.SLO.Attainment <= 1) {
+				t.Fatalf("attainment out of range: %+v", r)
+			}
+			if !(r.SLO.Fairness > 0 && r.SLO.Fairness <= 1+1e-12) {
+				t.Fatalf("fairness out of range: %+v", r)
+			}
+			if len(r.SLO.PerTenant) == 0 {
+				t.Fatalf("missing per-tenant breakdown: %+v", r)
+			}
+		}
+	}
+	for _, m := range []string{"Batch", "FIFO", "EDF", "WFQ", "WFQ+TW"} {
+		if !schedulers[m] {
+			t.Fatalf("scheduler %s missing from rows (have %v)", m, schedulers)
+		}
+	}
+	text := RenderSLO(rows)
+	for _, col := range []string{"Attain", "Jain", "Scheduler"} {
+		if !strings.Contains(text, col) {
+			t.Fatalf("rendered table missing %q:\n%s", col, text)
+		}
+	}
+}
+
+// TestSLODeterministicAcrossWorkers is the figure's bit-identical
+// guarantee: any -workers value must reproduce the sequential rows
+// exactly, including the tenant-aware modes.
+func TestSLODeterministicAcrossWorkers(t *testing.T) {
+	seq, err := SLO(sloTestOptions(1), "poisson", 1, []float64{1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SLO(sloTestOptions(8), "poisson", 1, []float64{1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("rows differ across worker counts:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestSLOValidation(t *testing.T) {
+	if _, err := SLO(sloTestOptions(1), "fractal", 2, []float64{1000}); err == nil {
+		t.Fatal("unknown arrival process should error")
+	}
+	if _, err := SLO(sloTestOptions(1), "poisson", -1, []float64{1000}); err == nil {
+		t.Fatal("negative stream size should error")
+	}
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"cloudqc/internal/stats"
+)
+
+// JobOutcome is one job's fate in the plain-data form the SLO aggregator
+// consumes; the controller converts its results with core.Outcomes. The
+// metrics layer deliberately does not import core, so tenant-aware
+// callers outside the controller can aggregate their own outcomes too.
+type JobOutcome struct {
+	// Tenant identifies the submitting tenant; Weight is its scheduling
+	// weight (non-positive means 1).
+	Tenant, Weight int
+	// Failed marks jobs that could never be placed.
+	Failed bool
+	// JCT and Finished are the job's completion time and absolute finish
+	// instant (zero for failed jobs).
+	JCT, Finished float64
+	// Deadline is the job's absolute SLO deadline; zero or negative means
+	// the job carried none.
+	Deadline float64
+}
+
+// TenantSLO is one tenant's slice of a run.
+type TenantSLO struct {
+	Tenant, Weight    int
+	Completed, Failed int
+	// MeanJCT and P99JCT summarize the tenant's completed jobs (NaN when
+	// it completed none).
+	MeanJCT, P99JCT float64
+	// Attainment is the fraction of the tenant's deadline-carrying jobs
+	// that finished by their deadline; NaN when it submitted none.
+	Attainment float64
+}
+
+// SLOStats summarizes a tenant- and deadline-aware run: deadline
+// attainment overall, a fairness index across tenants, and per-tenant
+// breakdowns.
+type SLOStats struct {
+	// Attainment is the fraction of deadline-carrying jobs that finished
+	// by their deadline; failed jobs with deadlines count as missed, jobs
+	// without deadlines are excluded. NaN when no job carried a deadline.
+	Attainment float64
+	// Fairness is Jain's index over per-tenant mean JCTs — 1 when every
+	// tenant sees the same mean completion time, approaching 1/#tenants
+	// as one tenant's jobs are starved. Tenants with no completed jobs
+	// are excluded; NaN with fewer than one contributing tenant.
+	Fairness float64
+	// PerTenant lists tenant breakdowns in ascending tenant id.
+	PerTenant []TenantSLO
+}
+
+// AggregateSLO computes SLOStats from per-job outcomes.
+func AggregateSLO(outcomes []JobOutcome) SLOStats {
+	byTenant := make(map[int][]JobOutcome)
+	for _, o := range outcomes {
+		byTenant[o.Tenant] = append(byTenant[o.Tenant], o)
+	}
+	tenants := make([]int, 0, len(byTenant))
+	for t := range byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Ints(tenants)
+
+	var s SLOStats
+	var met, withDeadline int
+	var tenantMeans []float64
+	for _, t := range tenants {
+		row := TenantSLO{Tenant: t, Weight: 1}
+		var jcts []float64
+		var tMet, tWithDeadline int
+		for _, o := range byTenant[t] {
+			if o.Weight > 0 {
+				row.Weight = o.Weight
+			}
+			if o.Failed {
+				row.Failed++
+			} else {
+				row.Completed++
+				jcts = append(jcts, o.JCT)
+			}
+			if o.Deadline > 0 {
+				tWithDeadline++
+				if !o.Failed && o.Finished <= o.Deadline {
+					tMet++
+				}
+			}
+		}
+		row.MeanJCT = stats.Mean(jcts)
+		row.P99JCT = stats.Percentile(jcts, 0.99)
+		row.Attainment = ratioOrNaN(tMet, tWithDeadline)
+		met += tMet
+		withDeadline += tWithDeadline
+		if len(jcts) > 0 {
+			tenantMeans = append(tenantMeans, row.MeanJCT)
+		}
+		s.PerTenant = append(s.PerTenant, row)
+	}
+	s.Attainment = ratioOrNaN(met, withDeadline)
+	s.Fairness = stats.JainIndex(tenantMeans)
+	return s
+}
+
+func ratioOrNaN(num, den int) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateSLOAttainment(t *testing.T) {
+	s := AggregateSLO([]JobOutcome{
+		{Tenant: 0, JCT: 100, Finished: 100, Deadline: 200}, // met
+		{Tenant: 0, JCT: 300, Finished: 300, Deadline: 200}, // missed
+		{Tenant: 0, JCT: 50, Finished: 50},                  // no deadline: excluded
+		{Tenant: 0, Failed: true, Deadline: 400},            // failed with deadline: missed
+	})
+	if got, want := s.Attainment, 1.0/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Attainment = %v, want %v", got, want)
+	}
+	if len(s.PerTenant) != 1 {
+		t.Fatalf("PerTenant = %+v", s.PerTenant)
+	}
+	row := s.PerTenant[0]
+	if row.Completed != 3 || row.Failed != 1 {
+		t.Fatalf("tenant row = %+v", row)
+	}
+	if got, want := row.MeanJCT, (100.0+300+50)/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanJCT = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateSLOPerTenantAndFairness(t *testing.T) {
+	s := AggregateSLO([]JobOutcome{
+		{Tenant: 2, Weight: 4, JCT: 100, Finished: 100, Deadline: 150},
+		{Tenant: 1, Weight: 1, JCT: 100, Finished: 100, Deadline: 50},
+		{Tenant: 1, Weight: 1, JCT: 300, Finished: 300, Deadline: 500},
+	})
+	if len(s.PerTenant) != 2 {
+		t.Fatalf("PerTenant = %+v", s.PerTenant)
+	}
+	// Ascending tenant id, weights carried through.
+	if s.PerTenant[0].Tenant != 1 || s.PerTenant[1].Tenant != 2 {
+		t.Fatalf("tenant order = %+v", s.PerTenant)
+	}
+	if s.PerTenant[0].Weight != 1 || s.PerTenant[1].Weight != 4 {
+		t.Fatalf("weights = %+v", s.PerTenant)
+	}
+	if got := s.PerTenant[0].Attainment; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tenant 1 attainment = %v, want 0.5", got)
+	}
+	// Per-tenant means are 200 and 100: Jain = 300² / (2·(200²+100²)) = 0.9.
+	if got := s.Fairness; math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("Fairness = %v, want 0.9", got)
+	}
+	// Equal mean JCTs → perfectly fair.
+	eq := AggregateSLO([]JobOutcome{
+		{Tenant: 0, JCT: 100, Finished: 100},
+		{Tenant: 1, JCT: 100, Finished: 100},
+	})
+	if math.Abs(eq.Fairness-1) > 1e-12 {
+		t.Fatalf("equal-JCT fairness = %v, want 1", eq.Fairness)
+	}
+}
+
+func TestAggregateSLODegenerate(t *testing.T) {
+	// No deadlines anywhere: attainment is undefined, not 0 or 1.
+	s := AggregateSLO([]JobOutcome{{Tenant: 0, JCT: 10, Finished: 10}})
+	if !math.IsNaN(s.Attainment) {
+		t.Fatalf("Attainment = %v, want NaN", s.Attainment)
+	}
+	if s.Fairness != 1 {
+		t.Fatalf("single-tenant fairness = %v, want 1", s.Fairness)
+	}
+	// Empty input.
+	empty := AggregateSLO(nil)
+	if !math.IsNaN(empty.Attainment) || len(empty.PerTenant) != 0 {
+		t.Fatalf("empty = %+v", empty)
+	}
+	// All jobs failed: no per-tenant mean to be fair about.
+	failed := AggregateSLO([]JobOutcome{{Tenant: 0, Failed: true}, {Tenant: 1, Failed: true}})
+	if !math.IsNaN(failed.Fairness) {
+		t.Fatalf("all-failed fairness = %v, want NaN", failed.Fairness)
+	}
+}

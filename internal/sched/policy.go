@@ -22,17 +22,26 @@ type Request struct {
 	Path []int
 	// Priority is the gate's remote-DAG priority (longest path to leaf).
 	Priority int
+	// Tenant identifies the submitting tenant for tenant-aware policies;
+	// the zero value is the single default tenant. Tenant-oblivious
+	// policies ignore it.
+	Tenant int
+	// TenantWeight is the tenant's fair-share weight (non-positive means
+	// 1). Only tenant-aware policies read it.
+	TenantWeight int
 }
 
 // Policy divides each round's communication qubit budget among competing
 // ready gates. Implementations must never allocate beyond budget and
-// must be deterministic given the same rng state.
+// must be deterministic given the same rng state. Allocate may reorder
+// reqs in place — callers hand over ownership of the slice for the round
+// and must not rely on its order afterwards.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Allocate returns EPR attempt pairs per requesting gate. budget is
 	// the per-QPU free communication qubit count for this round and is
-	// consumed in place.
+	// consumed in place, as is the order of reqs.
 	Allocate(reqs []Request, budget []int, rng *rand.Rand) map[NodeKey]int
 }
 
@@ -51,19 +60,20 @@ func grantOne(r Request, budget []int) bool {
 }
 
 // sortByPriority orders requests by descending priority, breaking ties
-// by job then node id for determinism.
-func sortByPriority(reqs []Request) []Request {
-	out := append([]Request(nil), reqs...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Priority != out[j].Priority {
-			return out[i].Priority > out[j].Priority
+// by job then node id for determinism. It sorts in place: Allocate owns
+// its request slice for the round (every caller rebuilds it from
+// JobState.Requests each round), so the per-round copy this used to make
+// was pure allocator pressure on the hot path.
+func sortByPriority(reqs []Request) {
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Priority != reqs[j].Priority {
+			return reqs[i].Priority > reqs[j].Priority
 		}
-		if out[i].Key.Job != out[j].Key.Job {
-			return out[i].Key.Job < out[j].Key.Job
+		if reqs[i].Key.Job != reqs[j].Key.Job {
+			return reqs[i].Key.Job < reqs[j].Key.Job
 		}
-		return out[i].Key.Node < out[j].Key.Node
+		return reqs[i].Key.Node < reqs[j].Key.Node
 	})
-	return out
 }
 
 // CloudQCPolicy is the paper's scheduler: every ready gate first gets one
@@ -78,21 +88,29 @@ func (CloudQCPolicy) Name() string { return "CloudQC" }
 // Allocate implements Policy.
 func (CloudQCPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
 	alloc := make(map[NodeKey]int, len(reqs))
-	ordered := sortByPriority(reqs)
-	for _, r := range ordered {
+	sortByPriority(reqs)
+	for _, r := range reqs {
 		if grantOne(r, budget) {
 			alloc[r.Key]++
 		}
 	}
-	// Water-fill extras: repeatedly grant +1 to the request minimizing
-	// granted/weight, weight = priority + 1. Ties resolve to higher
-	// priority, then request order.
+	waterFill(reqs, alloc, budget)
+	return alloc
+}
+
+// waterFill spends the remaining budget on extra pairs: repeatedly grant
+// +1 to the already-granted request minimizing granted/weight, weight =
+// priority + 1, so critical-path gates accumulate redundant pairs. Ties
+// resolve to higher priority, then request order in ordered. Requests
+// with no pairs are skipped — they were starved by budget and extras
+// would also fail.
+func waterFill(ordered []Request, alloc map[NodeKey]int, budget []int) {
 	for {
 		bestIdx := -1
 		var bestRatio float64
 		for i, r := range ordered {
 			if alloc[r.Key] == 0 {
-				continue // starved by budget; extras would also fail
+				continue
 			}
 			if !canGrant(r, budget) {
 				continue
@@ -105,11 +123,9 @@ func (CloudQCPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[No
 		if bestIdx < 0 {
 			break
 		}
-		r := ordered[bestIdx]
-		grantOne(r, budget)
-		alloc[r.Key]++
+		grantOne(ordered[bestIdx], budget)
+		alloc[ordered[bestIdx].Key]++
 	}
-	return alloc
 }
 
 func canGrant(r Request, budget []int) bool {
@@ -133,7 +149,8 @@ func (GreedyPolicy) Name() string { return "Greedy" }
 // Allocate implements Policy.
 func (GreedyPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
 	alloc := make(map[NodeKey]int, len(reqs))
-	for _, r := range sortByPriority(reqs) {
+	sortByPriority(reqs)
+	for _, r := range reqs {
 		for grantOne(r, budget) {
 			alloc[r.Key]++
 		}
@@ -151,16 +168,15 @@ func (AveragePolicy) Name() string { return "Average" }
 // Allocate implements Policy.
 func (AveragePolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
 	alloc := make(map[NodeKey]int, len(reqs))
-	ordered := append([]Request(nil), reqs...)
-	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].Key.Job != ordered[j].Key.Job {
-			return ordered[i].Key.Job < ordered[j].Key.Job
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Key.Job != reqs[j].Key.Job {
+			return reqs[i].Key.Job < reqs[j].Key.Job
 		}
-		return ordered[i].Key.Node < ordered[j].Key.Node
+		return reqs[i].Key.Node < reqs[j].Key.Node
 	})
 	for {
 		granted := false
-		for _, r := range ordered {
+		for _, r := range reqs {
 			if grantOne(r, budget) {
 				alloc[r.Key]++
 				granted = true
@@ -183,6 +199,10 @@ func (RandomPolicy) Name() string { return "Random" }
 // Allocate implements Policy.
 func (RandomPolicy) Allocate(reqs []Request, budget []int, rng *rand.Rand) map[NodeKey]int {
 	alloc := make(map[NodeKey]int, len(reqs))
+	// Unlike the sorting policies, the lottery's outcome depends on the
+	// working list's order, so it keeps a private copy: swap-removing
+	// from reqs itself would make a repeat call with the same slice and
+	// rng state produce a different allocation.
 	live := append([]Request(nil), reqs...)
 	for len(live) > 0 {
 		i := rng.Intn(len(live))

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TenantWeightedPolicy splits each round's communication-qubit budget
+// across tenants before falling back to CloudQC's per-gate priority
+// order, bounding cross-tenant starvation at the EPR-allocation layer:
+// a low-intensity tenant's gates cannot be crowded out of a round just
+// because another tenant's wide circuit floods it with higher-priority
+// requests.
+//
+// Phase 1 hands out first pairs by weighted deficit round-robin: each
+// grant charges the receiving tenant 1/weight of normalized service, and
+// the next grant goes to the backlogged tenant with the least normalized
+// service (ties to the smaller tenant id), walking that tenant's
+// requests in CloudQC priority order. A tenant with weight w therefore
+// receives first pairs at w times the rate of a weight-1 tenant, and
+// every tenant with a grantable request gets one before any tenant gets
+// its last. Phase 2 spends the leftover budget exactly like
+// CloudQCPolicy: water-filling extras onto already-granted gates by
+// priority weight, tenant-blind.
+//
+// With a single tenant the deficit round-robin degenerates to "one pair
+// per gate in priority order", making the policy bit-identical to
+// CloudQCPolicy (see TestTenantWeightedSingleTenantMatchesCloudQC).
+type TenantWeightedPolicy struct{}
+
+// Name implements Policy.
+func (TenantWeightedPolicy) Name() string { return "TenantWeighted" }
+
+// Allocate implements Policy.
+func (TenantWeightedPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
+	alloc := make(map[NodeKey]int, len(reqs))
+	sortByPriority(reqs)
+
+	// Group requests by tenant, preserving priority order within each
+	// group; tenants iterate in ascending id for determinism.
+	byTenant := make(map[int][]Request)
+	for _, r := range reqs {
+		byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+	}
+	tenants := make([]int, 0, len(byTenant))
+	for t := range byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Ints(tenants)
+
+	// Phase 1: weighted deficit round-robin of first pairs. cursor[t]
+	// walks tenant t's priority-ordered requests; budget only shrinks, so
+	// a request blocked once stays blocked and the cursor never revisits
+	// it.
+	served := make(map[int]float64, len(tenants))
+	cursor := make(map[int]int, len(tenants))
+	for {
+		best := -1
+		for _, t := range tenants {
+			if cursor[t] >= len(byTenant[t]) {
+				continue
+			}
+			if best < 0 || served[t] < served[best] {
+				best = t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Walk the tenant's remaining requests to its first grantable
+		// one; a tenant whose cursor exhausts without a grant simply
+		// drops out of the round-robin on the next pass.
+		group := byTenant[best]
+		for cursor[best] < len(group) {
+			r := group[cursor[best]]
+			cursor[best]++
+			if grantOne(r, budget) {
+				alloc[r.Key]++
+				served[best] += 1 / float64(tenantWeight(r))
+				break
+			}
+		}
+	}
+
+	// Phase 2: leftover budget follows CloudQC's per-gate priority order.
+	waterFill(reqs, alloc, budget)
+	return alloc
+}
+
+// tenantWeight resolves a request's fair-share weight: non-positive
+// means the default weight 1.
+func tenantWeight(r Request) int {
+	if r.TenantWeight <= 0 {
+		return 1
+	}
+	return r.TenantWeight
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func treq(tenant, weight, job, node, prio int, path ...int) Request {
+	r := req(job, node, prio, path...)
+	r.Tenant = tenant
+	r.TenantWeight = weight
+	return r
+}
+
+func TestTenantWeightedName(t *testing.T) {
+	if got := (TenantWeightedPolicy{}).Name(); got != "TenantWeighted" {
+		t.Fatalf("Name() = %q", got)
+	}
+}
+
+func TestTenantWeightedSingleTenantMatchesCloudQC(t *testing.T) {
+	// With one tenant the deficit round-robin is "one pair per gate in
+	// priority order" — exactly CloudQC's first pass — and phase 2 is
+	// CloudQC's water-fill, so the allocations must be identical.
+	mk := func() []Request {
+		return []Request{
+			req(0, 0, 5, 0, 1), req(0, 1, 3, 1, 2), req(0, 2, 3, 0, 2),
+			req(1, 0, 1, 2, 3), req(1, 1, 0, 0, 3),
+		}
+	}
+	b1 := []int{4, 3, 5, 2}
+	b2 := append([]int(nil), b1...)
+	want := CloudQCPolicy{}.Allocate(mk(), b1, rand.New(rand.NewSource(1)))
+	got := TenantWeightedPolicy{}.Allocate(mk(), b2, rand.New(rand.NewSource(1)))
+	if len(got) != len(want) {
+		t.Fatalf("alloc = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("alloc[%v] = %d, want %d (full: %v vs %v)", k, got[k], v, got, want)
+		}
+	}
+}
+
+func TestTenantWeightedBoundsStarvation(t *testing.T) {
+	// Tenant 1 floods the round with high-priority gates on the shared
+	// QPU pair; tenant 2's single low-priority gate must still get its
+	// first pair before tenant 1 soaks up the whole budget.
+	reqs := []Request{
+		treq(1, 1, 0, 0, 9, 0, 1),
+		treq(1, 1, 0, 1, 9, 0, 1),
+		treq(1, 1, 0, 2, 9, 0, 1),
+		treq(2, 1, 1, 0, 0, 0, 1),
+	}
+	budget := []int{3, 3}
+	alloc := TenantWeightedPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	if alloc[NodeKey{Job: 1, Node: 0}] < 1 {
+		t.Fatalf("tenant 2 starved: %v", alloc)
+	}
+}
+
+func TestTenantWeightedHonorsWeights(t *testing.T) {
+	// Two tenants, each with plenty of gates on the same saturated pair;
+	// weight 3 vs 1 should split the 8 first pairs 6:2.
+	var reqs []Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, treq(1, 3, 0, i, 1, 0, 1))
+		reqs = append(reqs, treq(2, 1, 1, i, 1, 0, 1))
+	}
+	budget := []int{8, 8}
+	alloc := TenantWeightedPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	var t1, t2 int
+	for i := 0; i < 8; i++ {
+		t1 += alloc[NodeKey{Job: 0, Node: i}]
+		t2 += alloc[NodeKey{Job: 1, Node: i}]
+	}
+	if t1 != 6 || t2 != 2 {
+		t.Fatalf("weighted split = %d:%d, want 6:2 (%v)", t1, t2, alloc)
+	}
+}
+
+func TestTenantWeightedDeterministic(t *testing.T) {
+	mk := func() []Request {
+		return []Request{
+			treq(0, 1, 0, 0, 3, 0, 1), treq(1, 2, 1, 0, 2, 1, 2),
+			treq(2, 1, 2, 0, 1, 0, 2), treq(1, 2, 1, 1, 5, 0, 1),
+		}
+	}
+	b1, b2 := []int{4, 4, 4}, []int{4, 4, 4}
+	a1 := TenantWeightedPolicy{}.Allocate(mk(), b1, rand.New(rand.NewSource(9)))
+	a2 := TenantWeightedPolicy{}.Allocate(mk(), b2, rand.New(rand.NewSource(9)))
+	if len(a1) != len(a2) {
+		t.Fatalf("non-deterministic: %v vs %v", a1, a2)
+	}
+	for k, v := range a1 {
+		if a2[k] != v {
+			t.Fatalf("non-deterministic at %v: %v vs %v", k, a1, a2)
+		}
+	}
+}
+
+// Property: the tenant-weighted allocator never exceeds any QPU's
+// communication budget, for random tenant mixes, weights, paths (with
+// swap intermediates), and budgets.
+func TestQuickTenantWeightedRespectsBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nQPU := 3 + rng.Intn(5)
+		var reqs []Request
+		for i := 0; i < 2+rng.Intn(10); i++ {
+			// Paths of 2 or 3 distinct QPUs (endpoints plus an optional
+			// swap intermediate).
+			perm := rng.Perm(nQPU)
+			path := perm[:2+rng.Intn(2)]
+			reqs = append(reqs, treq(
+				rng.Intn(4), rng.Intn(5)-1, // weights include 0 and -1 (default to 1)
+				rng.Intn(3), i, rng.Intn(6), path...))
+		}
+		budget := make([]int, nQPU)
+		orig := make([]int, nQPU)
+		for i := range budget {
+			budget[i] = 1 + rng.Intn(6)
+			orig[i] = budget[i]
+		}
+		alloc := TenantWeightedPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(seed)))
+		used := make([]int, nQPU)
+		for _, r := range reqs {
+			if alloc[r.Key] < 0 {
+				return false
+			}
+			for _, q := range r.Path {
+				used[q] += alloc[r.Key]
+			}
+		}
+		for q := range used {
+			if used[q] > orig[q] || budget[q] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

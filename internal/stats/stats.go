@@ -76,6 +76,25 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// JainIndex is Jain's fairness index (Σx)² / (n·Σx²) over a sample of
+// non-negative per-entity allocations: 1 when all entities receive the
+// same amount, approaching 1/n as one entity takes everything. Empty or
+// all-zero samples return NaN — there is no allocation to be fair about.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return math.NaN()
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // CDFPoint is one step of an empirical CDF.
 type CDFPoint struct {
 	X float64 // value

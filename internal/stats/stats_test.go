@@ -142,3 +142,24 @@ func TestQuickPercentileBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: Jain = %v, want 1", got)
+	}
+	// One entity takes everything: index = 1/n.
+	if got := JainIndex([]float64{9, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("monopolized shares: Jain = %v, want 1/3", got)
+	}
+	// Mildly unequal: strictly between 1/n and 1.
+	got := JainIndex([]float64{1, 2, 3})
+	if got <= 1.0/3 || got >= 1 {
+		t.Fatalf("Jain = %v, want in (1/3, 1)", got)
+	}
+	if !math.IsNaN(JainIndex(nil)) {
+		t.Fatal("empty sample should be NaN")
+	}
+	if !math.IsNaN(JainIndex([]float64{0, 0})) {
+		t.Fatal("all-zero sample should be NaN")
+	}
+}

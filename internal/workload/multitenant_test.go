@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testMix(perTenant int) []TenantSpec {
+	return DefaultTenantMix(QFT(), perTenant, "poisson", 1000)
+}
+
+func TestMultiTenantStampsFields(t *testing.T) {
+	jobs, err := MultiTenant(testMix(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 15 {
+		t.Fatalf("len = %d, want 15", len(jobs))
+	}
+	perTenant := map[int]int{}
+	prios := map[int]int{}
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Fatalf("IDs must be re-assigned in merge order: job %d has ID %d", i, j.ID)
+		}
+		if i > 0 && jobs[i-1].Arrival > j.Arrival {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		if j.Deadline <= j.Arrival {
+			t.Fatalf("job %d deadline %v not after arrival %v", i, j.Deadline, j.Arrival)
+		}
+		// Deadline slack is depth-scaled and within the default range.
+		slack := (j.Deadline - j.Arrival) / float64(j.Circuit.Depth())
+		if slack < DefaultMinSlack || slack > DefaultMaxSlack {
+			t.Fatalf("job %d slack %v outside [%v, %v]", i, slack, DefaultMinSlack, DefaultMaxSlack)
+		}
+		perTenant[j.Tenant]++
+		prios[j.Tenant] = j.Priority
+	}
+	if perTenant[0] != 5 || perTenant[1] != 5 || perTenant[2] != 5 {
+		t.Fatalf("per-tenant counts = %v", perTenant)
+	}
+	if prios[0] != 1 || prios[1] != 2 || prios[2] != 4 {
+		t.Fatalf("priorities = %v", prios)
+	}
+}
+
+func TestMultiTenantDeterministicAndSeedSensitive(t *testing.T) {
+	a, err := MultiTenant(testMix(6), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MultiTenant(testMix(6), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Deadline != b[i].Deadline ||
+			a[i].Tenant != b[i].Tenant || a[i].Circuit.Name != b[i].Circuit.Name {
+			t.Fatalf("mix not deterministic at job %d", i)
+		}
+	}
+	c, err := MultiTenant(testMix(6), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Arrival != c[i].Arrival || a[i].Circuit.Name != c[i].Circuit.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different mixes")
+	}
+}
+
+func TestMultiTenantTenantsDecorrelated(t *testing.T) {
+	// Tenants with identical specs must not replay each other's streams.
+	jobs, err := MultiTenant(testMix(8), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTenant := map[int][]float64{}
+	for _, j := range jobs {
+		byTenant[j.Tenant] = append(byTenant[j.Tenant], j.Arrival)
+	}
+	if reflect.DeepEqual(byTenant[0], byTenant[1]) {
+		t.Fatal("tenants 0 and 1 drew identical arrival streams")
+	}
+}
+
+func TestMultiTenantNoDeadlinesWhenSlackZero(t *testing.T) {
+	mix := testMix(3)
+	for i := range mix {
+		mix[i].MinSlack, mix[i].MaxSlack = 0, 0
+	}
+	jobs, err := MultiTenant(mix, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Deadline != 0 {
+			t.Fatalf("zero slack range should leave deadlines unset, got %v", j.Deadline)
+		}
+	}
+}
+
+func TestMultiTenantValidation(t *testing.T) {
+	if _, err := MultiTenant(nil, 1); err == nil {
+		t.Fatal("empty mix should error")
+	}
+	dup := testMix(2)
+	dup[1].Tenant = dup[0].Tenant
+	if _, err := MultiTenant(dup, 1); err == nil {
+		t.Fatal("duplicate tenant ids should error")
+	}
+	bad := testMix(2)
+	bad[0].MinSlack, bad[0].MaxSlack = 50, 10
+	if _, err := MultiTenant(bad, 1); err == nil {
+		t.Fatal("inverted slack range should error")
+	}
+}
