@@ -13,6 +13,7 @@ import (
 	"cloudqc/internal/qasm"
 	"cloudqc/internal/qlib"
 	"cloudqc/internal/sched"
+	"cloudqc/internal/service"
 	"cloudqc/internal/simq"
 	"cloudqc/internal/workload"
 )
@@ -212,6 +213,24 @@ func NewUtilizationRecorder(every float64) *UtilizationRecorder {
 // fields get the paper's defaults (CloudQC placement + CloudQC policy,
 // Table I model, batch mode).
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewController(cfg) }
+
+// NewLiveController builds the incremental (streaming) variant of the
+// controller: jobs can be submitted at any virtual time after the run
+// starts, the clock advances in steps, and submitting a workload's
+// jobs at their arrival times reproduces NewCluster(cfg).Run
+// bit-identically. The same ClusterConfig applies.
+func NewLiveController(cfg ClusterConfig) (*LiveController, error) {
+	return core.NewLiveController(cfg)
+}
+
+// NewJobService wraps a LiveController in the HTTP JSON submission
+// service: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/stats,
+// GET /v1/cluster, with per-tenant token-bucket rate limiting and
+// in-flight quotas (429 + Retry-After) and a virtual-time pacer
+// mapping wall time onto EPR rounds. The returned service implements
+// http.Handler; call its Drain method on shutdown. For a standalone
+// daemon, see cmd/cloudqcd.
+func NewJobService(cfg ServiceConfig) (*JobService, error) { return service.New(cfg) }
 
 // Intensity is the batch manager's job-ordering metric (Eq. 11) with
 // equal weights.

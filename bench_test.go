@@ -282,6 +282,56 @@ func BenchmarkClusterOnline(b *testing.B) {
 	benchClusterOnline(b, (*Cluster).Run)
 }
 
+// BenchmarkLiveController times the streaming submit+step hot path: the
+// same sparse Poisson stream as BenchmarkClusterOnline, but fed through
+// the live controller one job at a time — StepUntil to each arrival,
+// Submit, then Drain. The rounds/run and events/run counters are
+// deterministic and must match the one-shot Run's (the differential
+// guarantee), so CI gates on them alongside the ClusterOnline
+// benchmarks.
+func BenchmarkLiveController(b *testing.B) {
+	const seed = 7
+	sparse := Workload{Name: "SparseChains", Circuits: []string{"ghz_n127", "cat_n130"}}
+	var rounds, events float64
+	for i := 0; i < b.N; i++ {
+		jobs, err := sparse.PoissonBatch(12, 4000, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := DefaultPlacerConfig()
+		pcfg.Seed = seed
+		lc, err := NewLiveController(ClusterConfig{
+			Cloud:  NewRandomCloud(20, 0.3, 20, 5, 1),
+			Placer: NewPlacer(pcfg),
+			Seed:   seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range jobs {
+			if err := lc.StepUntil(j.Arrival); err != nil {
+				b.Fatal(err)
+			}
+			if err := lc.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := lc.Drain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Failed {
+				b.Fatal("unexpected failed job")
+			}
+		}
+		rounds += float64(lc.RunStats().Rounds)
+		events += float64(lc.RunStats().Events)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/run")
+	b.ReportMetric(events/float64(b.N), "events/run")
+}
+
 func BenchmarkClusterOnlineLockStep(b *testing.B) {
 	benchClusterOnline(b, (*Cluster).RunLockStep)
 }

@@ -55,6 +55,7 @@ import (
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
 	"cloudqc/internal/sched"
+	"cloudqc/internal/service"
 	"cloudqc/internal/simq"
 	"cloudqc/internal/workload"
 )
@@ -128,6 +129,44 @@ type (
 	ClusterRunStats = core.RunStats
 	// MigrationStats reports what the teleportation planner did.
 	MigrationStats = sched.MigrationStats
+	// LiveController is the incremental multi-tenant controller behind
+	// the job service: jobs are submitted at any virtual time
+	// (Submit), the clock advances in steps (StepUntil), and the
+	// backlog can be run dry (Drain) — bit-identical to Cluster.Run
+	// when fed the same stream at the same arrival times.
+	LiveController = core.LiveController
+	// JobStatus is a live job's lifecycle state (pending, queued,
+	// running, completed, failed).
+	JobStatus = core.JobStatus
+	// LiveSnapshot is one instant of a live cluster's state.
+	LiveSnapshot = core.LiveSnapshot
+	// QPULoad is one QPU's capacity and current reservation in a live
+	// cluster view.
+	QPULoad = core.QPULoad
+	// ServiceConfig assembles the HTTP job-submission service: live
+	// controller, virtual-time scale, per-tenant rate limit and quota.
+	ServiceConfig = service.Config
+	// JobService serves a LiveController over HTTP JSON
+	// (POST /v1/jobs, GET /v1/jobs/{id}, /v1/stats, /v1/cluster); it
+	// implements http.Handler. The cloudqcd daemon is its standalone
+	// wrapper.
+	JobService = service.Server
+)
+
+// Lifecycle states of a job in a LiveController / JobService.
+const (
+	// StatusUnknown: the id was never submitted (Status's zero answer).
+	StatusUnknown = core.StatusUnknown
+	// StatusPending: submitted, arrival still in the virtual future.
+	StatusPending = core.StatusPending
+	// StatusQueued: arrived, waiting for placement.
+	StatusQueued = core.StatusQueued
+	// StatusRunning: holding computing qubits, executing.
+	StatusRunning = core.StatusRunning
+	// StatusCompleted: finished; the JobResult is final.
+	StatusCompleted = core.StatusCompleted
+	// StatusFailed: can never be placed.
+	StatusFailed = core.StatusFailed
 )
 
 // Admission modes for the multi-tenant controller.

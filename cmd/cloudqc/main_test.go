@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -124,13 +125,53 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
-func TestIdxMapping(t *testing.T) {
-	cases := map[string]int{"fig10": 0, "fig11": 1, "fig13": 3, "fig18": 0, "fig21": 3}
-	bases := map[string]int{"fig10": 10, "fig11": 10, "fig13": 10, "fig18": 18, "fig21": 18}
-	for cmd, want := range cases {
-		if got := idx(cmd, bases[cmd]); got != want {
-			t.Fatalf("idx(%s, %d) = %d, want %d", cmd, bases[cmd], got, want)
+// TestCommandTableCoversHelp: the help text is generated from the
+// dispatch table, so every command appears exactly once, the figure
+// range is complete, and the serve forwarding note is present.
+func TestCommandTableCoversHelp(t *testing.T) {
+	cmds := commandTable()
+	seen := make(map[string]bool, len(cmds))
+	for _, c := range cmds {
+		if seen[c.name] {
+			t.Fatalf("duplicate command %q in table", c.name)
 		}
+		seen[c.name] = true
+		if c.summary == "" || c.run == nil {
+			t.Fatalf("command %q missing summary or handler", c.name)
+		}
+	}
+	for i := 6; i <= 22; i++ {
+		if !seen[fmt.Sprintf("fig%d", i)] {
+			t.Fatalf("fig%d missing from command table", i)
+		}
+	}
+	for _, want := range []string{"list", "table1", "table2", "table3", "run", "online", "slo",
+		"incoming", "teleport", "serve", "ablation-imbalance", "ablation-order",
+		"ablation-multipath", "ablation-fidelity"} {
+		if !seen[want] {
+			t.Fatalf("%q missing from command table", want)
+		}
+	}
+	help := helpText(cmds)
+	for name := range seen {
+		if !strings.Contains(help, "\n  "+name+" ") {
+			t.Fatalf("help text missing command %q:\n%s", name, help)
+		}
+	}
+	if !strings.Contains(help, "cloudqcd") {
+		t.Fatalf("help text missing the cloudqcd forwarding note:\n%s", help)
+	}
+}
+
+// TestRunServeForwards: `cloudqc serve` points at the cloudqcd binary
+// instead of failing as an unknown command.
+func TestRunServeForwards(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"serve"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cmd/cloudqcd") {
+		t.Fatalf("serve output:\n%s", out)
 	}
 }
 

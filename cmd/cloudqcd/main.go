@@ -1,0 +1,177 @@
+// Command cloudqcd is the CloudQC service daemon: an always-on HTTP
+// admission front over the live multi-tenant controller. Tenants
+// submit circuits (qlib benchmark names or inline OpenQASM 2.0) to
+// POST /v1/jobs at any time; a virtual-time pacer maps the wall clock
+// onto EPR-attempt rounds, per-tenant token buckets and in-flight
+// quotas answer overload with 429 + Retry-After, and SIGINT/SIGTERM
+// drains the backlog before exiting with a final stream summary.
+//
+// Usage:
+//
+//	cloudqcd [flags]
+//
+//	-addr        listen address (default :8080)
+//	-qpus, -edge-prob, -computing, -comm
+//	             cloud shape (defaults: the paper's 20 QPUs, p=0.3,
+//	             20 computing + 5 communication qubits each)
+//	-epr-prob    EPR generation success probability (default 0.3)
+//	-seed        controller seed
+//	-mode        admission mode: batch, fifo, edf, or wfq
+//	-tenant-weighted
+//	             split each EPR round's budget across tenants by weight
+//	-timescale   virtual CX units per wall second (default 1000)
+//	-rate        per-tenant submissions/second (0 disables limiting)
+//	-burst       per-tenant burst capacity (default ceil(rate), min 1)
+//	-quota       per-tenant max in-flight jobs (0 = unlimited)
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/stats,
+// GET /v1/cluster — see internal/service for the wire format, and the
+// README's "Running as a service" section for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/epr"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/sched"
+	"cloudqc/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudqcd:", err)
+		os.Exit(1)
+	}
+}
+
+// build assembles the service from CLI flags; split from run so tests
+// can drive the handler without binding a socket.
+func build(args []string) (*service.Server, string, error) {
+	fs := flag.NewFlagSet("cloudqcd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		qpus      = fs.Int("qpus", 20, "number of QPUs in the cloud")
+		edgeProb  = fs.Float64("edge-prob", 0.3, "random topology edge probability")
+		computing = fs.Int("computing", 20, "computing qubits per QPU")
+		comm      = fs.Int("comm", 5, "communication qubits per QPU")
+		eprProb   = fs.Float64("epr-prob", 0.3, "EPR generation success probability")
+		seed      = fs.Int64("seed", 1, "controller seed")
+		mode      = fs.String("mode", "fifo", "admission mode: batch, fifo, edf, or wfq")
+		weighted  = fs.Bool("tenant-weighted", false, "tenant-weighted EPR allocation policy")
+		timescale = fs.Float64("timescale", 1000, "virtual CX units per wall second")
+		rate      = fs.Float64("rate", 0, "per-tenant submissions per second (0 = unlimited)")
+		burst     = fs.Int("burst", 0, "per-tenant burst capacity (default ceil(rate))")
+		quota     = fs.Int("quota", 0, "per-tenant max in-flight jobs (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		return nil, "", err
+	}
+	model := epr.DefaultModel()
+	model.SuccessProb = *eprProb
+	pCfg := place.DefaultConfig()
+	pCfg.Seed = *seed
+	cfg := core.Config{
+		Cloud:  cloud.NewRandom(*qpus, *edgeProb, *computing, *comm, *seed),
+		Placer: place.NewCloudQC(pCfg),
+		Model:  model,
+		Mode:   m,
+		Seed:   *seed,
+	}
+	if *weighted {
+		cfg.Policy = sched.TenantWeightedPolicy{}
+	}
+	lc, err := core.NewLiveController(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	srv, err := service.New(service.Config{
+		Controller:  lc,
+		TimeScale:   *timescale,
+		Rate:        *rate,
+		Burst:       *burst,
+		MaxInFlight: *quota,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, *addr, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	svc, addr, err := build(args)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: svc,
+		// Handlers release the service lock before writing, so a stalled
+		// client only wedges its own connection — and these timeouts
+		// reclaim even that.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	shutdown := make(chan error, 1)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintln(stdout, "cloudqcd: shutting down, draining backlog")
+		shutdown <- httpSrv.Shutdown(context.Background())
+	}()
+
+	fmt.Fprintf(stdout, "cloudqcd: listening on %s\n", addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-shutdown; err != nil {
+		return err
+	}
+	results, err := svc.Drain()
+	if err != nil {
+		return err
+	}
+	printSummary(stdout, results)
+	return nil
+}
+
+// printSummary renders the drained stream's final aggregates.
+func printSummary(w io.Writer, results []*core.JobResult) {
+	on := core.OnlineStatsOf(results)
+	fmt.Fprintf(w, "cloudqcd: drained %d jobs (%d failed), mean JCT %.1f CX, p99 %.1f CX, mean wait %.1f CX\n",
+		len(results), on.Failed, on.MeanJCT, on.P99JCT, on.MeanWait)
+	slo := metrics.AggregateSLO(core.Outcomes(results))
+	for _, t := range slo.PerTenant {
+		fmt.Fprintf(w, "cloudqcd: tenant %d: %d completed, %d failed, attainment %s\n",
+			t.Tenant, t.Completed, t.Failed, pct(t.Attainment))
+	}
+}
+
+// pct renders an attainment fraction, dashing out NaN (no deadlines).
+func pct(v float64) string {
+	if v != v {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", v*100)
+}

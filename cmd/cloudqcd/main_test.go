@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/service"
+)
+
+func TestBuildBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "nope"},
+		{"-epr-prob", "0"}, // Model.Validate rejects SuccessProb outside (0, 1]
+		{"-epr-prob", "2"}, // ditto
+		{"-timescale", "-5"},
+		{"-unknown-flag"},
+	}
+	for _, args := range cases {
+		if _, _, err := build(args); err == nil {
+			t.Fatalf("build(%v) should error", args)
+		}
+	}
+}
+
+// TestDaemonFlagsReachService wires the daemon's flags through an
+// httptest round trip: a 1-job quota rejects the second submission and
+// the cluster view reflects the -qpus flag.
+func TestDaemonFlagsReachService(t *testing.T) {
+	srv, addr, err := build([]string{"-addr", ":0", "-qpus", "8", "-quota", "1", "-mode", "wfq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":0" {
+		t.Fatalf("addr = %q", addr)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.String()
+	}
+	code, body := post(`{"tenant": 3, "circuit": "qft_n29"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	code, body = post(`{"tenant": 3, "circuit": "qft_n29"}`)
+	if code != http.StatusTooManyRequests || !strings.Contains(body, "quota") {
+		t.Fatalf("over-quota submit: %d %s, want 429 mentioning quota", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr service.ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.QPUs) != 8 {
+		t.Fatalf("cluster has %d QPUs, want 8 (flag -qpus)", len(cr.QPUs))
+	}
+}
+
+func TestPrintSummary(t *testing.T) {
+	c := core.Job{ID: 0, Tenant: 1, Deadline: 100}
+	results := []*core.JobResult{
+		{Job: &c, JCT: 80, Finished: 80, WaitTime: 5},
+		{Job: &core.Job{ID: 1, Tenant: 2}, Failed: true},
+	}
+	var buf bytes.Buffer
+	printSummary(&buf, results)
+	out := buf.String()
+	for _, want := range []string{"drained 2 jobs (1 failed)", "tenant 1", "attainment 100%", "tenant 2", "attainment -"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -243,34 +243,50 @@ type release struct {
 	placement *place.Placement
 }
 
-// prepare validates the submitted jobs and initializes their result
-// slots. It rejects nil circuits, empty registers (a 0-qubit circuit
-// makes Intensity divide by zero, and the NaN would silently corrupt
-// the batch sort), and duplicate IDs.
-func (ct *Controller) prepare(jobs []*Job) (map[int]*JobResult, int, error) {
-	results := make(map[int]*JobResult, len(jobs))
-	// Per-run scheduling state restarts with every run: the WFQ virtual
-	// clocks, and the intensity memo — job IDs are only unique within
-	// one Run, so a reused Controller must not bill a new stream's jobs
-	// at a previous stream's circuits' intensities.
+// resetScheduling restarts the per-run scheduling state — the WFQ
+// virtual clocks, the run-stats counters, and the intensity memo. Job
+// IDs are only unique within one run, so a reused Controller must not
+// bill a new stream's jobs at a previous stream's circuits'
+// intensities. It returns the cloud's total computing-qubit capacity.
+func (ct *Controller) resetScheduling(jobHint int) int {
 	ct.service = make(map[int]float64)
 	ct.vtime = 0
-	ct.intensity = make(map[int]float64, len(jobs))
+	ct.intensity = make(map[int]float64, jobHint)
+	ct.stats = RunStats{}
 	totalComputing := 0
 	for i := 0; i < ct.cfg.Cloud.NumQPUs(); i++ {
 		totalComputing += ct.cfg.Cloud.QPU(i).Computing
 	}
+	return totalComputing
+}
+
+// validateJob rejects nil circuits, empty registers (a 0-qubit circuit
+// makes Intensity divide by zero, and the NaN would silently corrupt
+// the batch sort), and IDs already present in results, then claims the
+// job's result slot.
+func validateJob(j *Job, results map[int]*JobResult) error {
+	if j.Circuit == nil {
+		return fmt.Errorf("core: job %d has no circuit", j.ID)
+	}
+	if j.Circuit.NumQubits() == 0 {
+		return fmt.Errorf("core: job %d has an empty register", j.ID)
+	}
+	if _, dup := results[j.ID]; dup {
+		return fmt.Errorf("core: duplicate job ID %d", j.ID)
+	}
+	results[j.ID] = &JobResult{Job: j}
+	return nil
+}
+
+// prepare validates the submitted jobs, initializes their result slots,
+// and resets the per-run scheduling state.
+func (ct *Controller) prepare(jobs []*Job) (map[int]*JobResult, int, error) {
+	results := make(map[int]*JobResult, len(jobs))
+	totalComputing := ct.resetScheduling(len(jobs))
 	for _, j := range jobs {
-		if j.Circuit == nil {
-			return nil, 0, fmt.Errorf("core: job %d has no circuit", j.ID)
+		if err := validateJob(j, results); err != nil {
+			return nil, 0, err
 		}
-		if j.Circuit.NumQubits() == 0 {
-			return nil, 0, fmt.Errorf("core: job %d has an empty register", j.ID)
-		}
-		if _, dup := results[j.ID]; dup {
-			return nil, 0, fmt.Errorf("core: duplicate job ID %d", j.ID)
-		}
-		results[j.ID] = &JobResult{Job: j}
 	}
 	return results, totalComputing, nil
 }
@@ -312,7 +328,26 @@ type runState struct {
 	// maxFinished tracks the latest job completion for the closing
 	// recorder sample.
 	maxFinished float64
-	err         error
+	// live marks a LiveController-owned state: jobs the placer can never
+	// fit on an all-free cloud are marked failed instead of aborting the
+	// run — an always-on service must survive one impossible job — and
+	// the controller wakes at maturing releases even with nothing queued
+	// or pending, since more jobs may arrive at any time. Run keeps the
+	// one-shot behavior on both counts.
+	live bool
+	// status indexes per-job lifecycle states for the live controller
+	// (nil in one-shot runs), with settled counters alongside, so
+	// status queries and snapshots cost O(1) instead of scanning the
+	// full submission history. Maintained via setStatus at every
+	// transition point.
+	status    map[int]JobStatus
+	completed int
+	failed    int
+	// draining ends a live run: no more submissions are coming, so
+	// trailing releases are applied silently like Run's tail instead of
+	// waking the controller.
+	draining bool
+	err      error
 }
 
 // Run executes the jobs to completion and returns their results ordered
@@ -330,7 +365,6 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ct.stats = RunStats{}
 	st := &runState{
 		ct:              ct,
 		eng:             des.NewEngine(),
@@ -351,7 +385,10 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 		if at < first {
 			first = at
 		}
-		st.eng.Schedule(at, func() { st.arrive(j) })
+		// Priority scheduling: arrivals precede any controller tick at
+		// the same instant, whether queued up front (here) or injected
+		// mid-run (LiveController.Submit).
+		st.eng.SchedulePriority(at, func() { st.arrive(j) })
 	}
 	if ct.cfg.Recorder != nil && first > 0 {
 		// Opening sample: the idle span before the first arrival belongs
@@ -398,6 +435,23 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 	return out, nil
 }
 
+// setStatus records a live job's lifecycle transition and keeps the
+// settled counters current. A nil receiver or one-shot run (no status
+// index) is a no-op, so the shared admission/retire paths can call it
+// unconditionally.
+func (st *runState) setStatus(id int, s JobStatus) {
+	if st == nil || st.status == nil {
+		return
+	}
+	st.status[id] = s
+	switch s {
+	case StatusCompleted:
+		st.completed++
+	case StatusFailed:
+		st.failed++
+	}
+}
+
 // arrive is the arrival event: the job joins the admission queue and a
 // tick at the current instant places it if capacity allows — unlike the
 // lock-step loop, which only re-ran admission after a release and could
@@ -409,6 +463,7 @@ func (st *runState) arrive(j *Job) {
 	}
 	st.ct.stats.Events++
 	st.queue = append(st.queue, j)
+	st.setStatus(j.ID, StatusQueued)
 	st.capacityChanged = true
 	st.requestTick(st.eng.Now())
 }
@@ -459,7 +514,7 @@ func (st *runState) tick() {
 	if st.capacityChanged {
 		wasIdle := len(st.active) == 0
 		var err error
-		st.queue, st.active, err = ct.admit(st.queue, st.active, st.results, t, st.totalComputing)
+		st.queue, st.active, err = ct.admit(st.queue, st.active, st.results, t, st.totalComputing, st)
 		if err != nil {
 			st.err = err
 			return
@@ -513,6 +568,7 @@ func (st *runState) tick() {
 		res.JCT = finished - aj.job.Arrival
 		res.WaitTime = aj.placedAt - aj.job.Arrival
 		st.releases = append(st.releases, release{at: finished, placement: aj.placement})
+		st.setStatus(aj.job.ID, StatusCompleted)
 		if finished > st.maxFinished {
 			st.maxFinished = finished
 		}
@@ -532,13 +588,16 @@ func (st *runState) tick() {
 func (st *runState) scheduleNext(t float64) {
 	if len(st.active) == 0 {
 		st.nextRound = math.NaN()
-		if len(st.queue) == 0 && st.pendingArrivals == 0 {
+		if len(st.queue) == 0 && st.pendingArrivals == 0 && (!st.live || st.draining) {
 			return // done: only the final releases remain
 		}
 		// Wake at the next maturing release even with nothing queued:
 		// later arrivals need the freed capacity applied, and the
 		// Recorder's sample-and-hold series must see utilization drop at
-		// the release, not at the next arrival.
+		// the release, not at the next arrival. A live controller wakes
+		// even with nothing pending at all — more jobs may arrive at any
+		// time, which is exactly the state pendingArrivals > 0 models in
+		// a one-shot run.
 		next := math.Inf(1)
 		for _, r := range st.releases {
 			if r.at > t && r.at < next {
@@ -548,7 +607,18 @@ func (st *runState) scheduleNext(t float64) {
 		if !math.IsInf(next, 1) {
 			st.requestTick(next)
 		} else if len(st.queue) > 0 && st.pendingArrivals == 0 {
-			st.err = fmt.Errorf("core: %d jobs unplaceable with all resources free", len(st.queue))
+			// Nothing active, nothing maturing, nothing still to arrive:
+			// the queued jobs can never be placed. The one-shot Run
+			// aborts; a live controller fails the jobs and keeps serving.
+			if st.live {
+				for _, j := range st.queue {
+					st.results[j.ID].Failed = true
+					st.setStatus(j.ID, StatusFailed)
+				}
+				st.queue = st.queue[:0]
+			} else {
+				st.err = fmt.Errorf("core: %d jobs unplaceable with all resources free", len(st.queue))
+			}
 		}
 		return
 	}
@@ -585,8 +655,9 @@ func (st *runState) scheduleNext(t float64) {
 
 // admit tries to place every waiting job that has arrived, in the
 // configured admission order (batch intensity, FIFO, EDF, or WFQ). Jobs
-// larger than the whole cloud are marked failed.
-func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*JobResult, t float64, totalComputing int) ([]*Job, []*activeJob, error) {
+// larger than the whole cloud are marked failed. st carries the live
+// status index (nil from the lock-step loop).
+func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*JobResult, t float64, totalComputing int, st *runState) ([]*Job, []*activeJob, error) {
 	arrived := make([]*Job, 0, len(queue))
 	var waiting []*Job
 	for _, j := range queue {
@@ -600,6 +671,7 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 	for _, j := range arrived {
 		if j.Circuit.NumQubits() > totalComputing {
 			results[j.ID].Failed = true
+			st.setStatus(j.ID, StatusFailed)
 			continue
 		}
 		pl, err := ct.cfg.Placer.Place(ct.cfg.Cloud, j.Circuit)
@@ -627,6 +699,7 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t})
 		results[j.ID].RemoteGates = dag.Len()
 		results[j.ID].Placement = pl
+		st.setStatus(j.ID, StatusRunning)
 	}
 	// Preserve arrival order among the still-waiting arrived jobs by
 	// re-sorting the combined waiting list on (Arrival, ID).

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"cloudqc/internal/des"
+	"cloudqc/internal/metrics"
+)
+
+// JobStatus is a submitted job's lifecycle state in a LiveController.
+type JobStatus int
+
+const (
+	// StatusUnknown means the job ID was never submitted.
+	StatusUnknown JobStatus = iota
+	// StatusPending means the job is submitted but its arrival time is
+	// still in the virtual future.
+	StatusPending
+	// StatusQueued means the job has arrived and waits for placement.
+	StatusQueued
+	// StatusRunning means the job holds computing qubits and is
+	// executing its remote DAG.
+	StatusRunning
+	// StatusCompleted means the job finished; its JobResult is final.
+	StatusCompleted
+	// StatusFailed means the job can never be placed (larger than the
+	// cloud, or unplaceable with every resource free).
+	StatusFailed
+)
+
+// String returns the status's wire name (used verbatim by the service
+// layer's JSON API).
+func (s JobStatus) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusCompleted:
+		return "completed"
+	case StatusFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Settled reports whether the status is terminal (completed or failed).
+func (s JobStatus) Settled() bool { return s == StatusCompleted || s == StatusFailed }
+
+// LiveSnapshot is one instant of a LiveController's cluster state.
+type LiveSnapshot struct {
+	// Now is the current virtual time in CX units.
+	Now float64
+	// Pending, Queued, Active, Completed, and Failed count submitted
+	// jobs by lifecycle state; they sum to the total submitted.
+	Pending, Queued, Active, Completed, Failed int
+	// Utilization is the fraction of computing qubits reserved, with
+	// matured-but-unapplied trailing releases already discounted.
+	Utilization float64
+	// PendingReleases counts placements whose jobs finished but whose
+	// computing qubits have not been returned yet.
+	PendingReleases int
+	// Rounds and Events are the controller's cumulative scheduling work
+	// (see RunStats).
+	Rounds, Events int
+}
+
+// LiveController is the incremental façade over the event-driven
+// multi-tenant controller: where Run consumes a complete workload and
+// executes it to completion, a LiveController accepts jobs at any
+// virtual time after the run starts and advances the clock in steps.
+//
+//	lc, _ := core.NewLiveController(cfg)
+//	lc.Submit(job)            // at any time, arrival = now
+//	lc.StepUntil(t)           // advance virtual time to t
+//	lc.Snapshot()             // cluster state, lc.Status(id) per job
+//	results, _ := lc.Drain()  // run the backlog dry and stop
+//
+// Admission, placement, EPR-round allocation, and metrics reuse the
+// exact event machinery behind Run: submitting a workload's jobs at
+// their arrival times (Submit before the clock passes each arrival)
+// reproduces Run's results bit-identically — same rounds, same JCTs,
+// same recorder series (see TestLiveControllerMatchesRun).
+//
+// A LiveController is not safe for concurrent use; the service layer
+// (internal/service) serializes access.
+type LiveController struct {
+	ct *Controller
+	st *runState
+	// jobs preserves submission order for Results.
+	jobs []*Job
+	// started latches the first clock advance, which decides the
+	// recorder's opening sample exactly like Run's pre-loop check.
+	started bool
+	drained bool
+}
+
+// NewLiveController validates the configuration (see NewController) and
+// returns a live controller with the virtual clock at 0 and no jobs.
+func NewLiveController(cfg Config) (*LiveController, error) {
+	ct, err := NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := ct.resetScheduling(0)
+	st := &runState{
+		ct:             ct,
+		eng:            des.NewEngine(),
+		results:        make(map[int]*JobResult),
+		totalComputing: total,
+		budget:         make([]int, cfg.Cloud.NumQPUs()),
+		nextRound:      math.NaN(),
+		tickAt:         math.NaN(),
+		live:           true,
+		status:         make(map[int]JobStatus),
+	}
+	return &LiveController{ct: ct, st: st}, nil
+}
+
+// Now returns the current virtual time in CX units.
+func (lc *LiveController) Now() float64 { return lc.st.eng.Now() }
+
+// Submit injects a job into the run. The job arrives at
+// max(Job.Arrival, Now()): a future Arrival schedules it ahead of time,
+// a zero or past one means "arrives now" (Job.Arrival itself is left
+// untouched — JCT accounting charges from the caller's stamp, exactly
+// like Run). Submissions at the current instant precede any controller
+// tick already scheduled there, so a job submitted at time t is
+// indistinguishable from one queued up front with Arrival t.
+func (lc *LiveController) Submit(j *Job) error {
+	if lc.drained {
+		return errors.New("core: live controller already drained")
+	}
+	if lc.st.err != nil {
+		return lc.st.err
+	}
+	if err := validateJob(j, lc.st.results); err != nil {
+		return err
+	}
+	at := j.Arrival
+	if now := lc.st.eng.Now(); at < now {
+		at = now
+	}
+	lc.jobs = append(lc.jobs, j)
+	lc.st.status[j.ID] = StatusPending
+	lc.st.pendingArrivals++
+	lc.st.eng.SchedulePriority(at, func() { lc.st.arrive(j) })
+	return nil
+}
+
+// begin latches the first clock advance and emits the recorder's
+// opening sample when the horizon starts idle — the same "idle span
+// before the first arrival" rule Run applies before draining its event
+// queue. target is how far the caller is about to advance; a no-op
+// step (nothing scheduled, clock staying at 0) defers the decision.
+func (lc *LiveController) begin(target float64) {
+	if lc.started {
+		return
+	}
+	next, ok := lc.st.eng.NextAt()
+	if !ok && target <= 0 {
+		return
+	}
+	lc.started = true
+	if lc.ct.cfg.Recorder != nil && (!ok || next > 0) {
+		lc.ct.cfg.Recorder.Record(metrics.Sample{Time: 0, Utilization: lc.ct.cfg.Cloud.Utilization()})
+	}
+}
+
+// StepUntil advances the virtual clock to t, executing every event
+// strictly before t (arrivals, admission ticks, EPR rounds, releases).
+// Events at exactly t stay pending so the caller can still Submit jobs
+// arriving at t before they run; a clock already past t only replays
+// due events. Returns the first execution error, which is sticky.
+func (lc *LiveController) StepUntil(t float64) error {
+	if lc.drained {
+		return errors.New("core: live controller already drained")
+	}
+	if lc.st.err != nil {
+		return lc.st.err
+	}
+	if now := lc.st.eng.Now(); t < now {
+		t = now
+	}
+	lc.begin(t)
+	lc.st.eng.RunBefore(t)
+	return lc.st.err
+}
+
+// Drain runs every submitted job to completion, returns the computing
+// qubits of trailing releases, emits the recorder's closing sample, and
+// retires the controller: further Submit/StepUntil/Drain calls fail.
+// Results are returned in submission order.
+func (lc *LiveController) Drain() ([]*JobResult, error) {
+	if lc.drained {
+		return nil, errors.New("core: live controller already drained")
+	}
+	lc.begin(math.Inf(1))
+	// No more submissions are coming: stop waking at trailing releases
+	// (Run's tail applies them silently), and cancel an already-pending
+	// idle wake — when the system is idle with nothing queued or still
+	// arriving, the only tick that can be scheduled is such a wake.
+	lc.st.draining = true
+	if len(lc.st.active) == 0 && len(lc.st.queue) == 0 && lc.st.pendingArrivals == 0 &&
+		!math.IsNaN(lc.st.tickAt) {
+		lc.st.tickGen++
+		lc.st.tickAt = math.NaN()
+	}
+	lc.st.eng.Run()
+	lc.drained = true
+	cl := lc.ct.cfg.Cloud
+	if lc.st.err != nil {
+		// Like Run's failure path: a poisoned run must not leak
+		// reservations on the shared cloud.
+		for _, aj := range lc.st.active {
+			aj.placement.Release(cl)
+		}
+		for _, r := range lc.st.releases {
+			r.placement.Release(cl)
+		}
+		lc.st.active, lc.st.releases = nil, nil
+		return nil, lc.st.err
+	}
+	for _, r := range lc.st.releases {
+		r.placement.Release(cl)
+	}
+	lc.st.releases = nil
+	if lc.ct.cfg.Recorder != nil && len(lc.jobs) > 0 {
+		end := lc.st.eng.Now()
+		if lc.st.maxFinished > end {
+			end = lc.st.maxFinished
+		}
+		lc.ct.cfg.Recorder.Flush(metrics.Sample{Time: end, Utilization: cl.Utilization()})
+	}
+	return lc.Results(), nil
+}
+
+// Status reports a submitted job's lifecycle state in O(1): the status
+// index is maintained at every transition (submit, arrival, placement,
+// retirement, failure).
+func (lc *LiveController) Status(id int) JobStatus {
+	return lc.st.status[id] // zero value = StatusUnknown for never-submitted ids
+}
+
+// Result returns a job's result slot and status. The result is only
+// final once the status is settled; callers must not mutate it.
+func (lc *LiveController) Result(id int) (*JobResult, JobStatus) {
+	res, ok := lc.st.results[id]
+	if !ok {
+		return nil, StatusUnknown
+	}
+	return res, lc.Status(id)
+}
+
+// Results returns every submitted job's result slot in submission
+// order; entries for unsettled jobs are partial (see Result).
+func (lc *LiveController) Results() []*JobResult {
+	out := make([]*JobResult, 0, len(lc.jobs))
+	for _, j := range lc.jobs {
+		out = append(out, lc.st.results[j.ID])
+	}
+	return out
+}
+
+// SettledResults returns the results of completed and failed jobs in
+// submission order — the stream slice metrics aggregation consumes
+// mid-run (Outcomes + AggregateSLO, AggregateOnline).
+func (lc *LiveController) SettledResults() []*JobResult {
+	out := make([]*JobResult, 0, len(lc.jobs))
+	for _, j := range lc.jobs {
+		if lc.Status(j.ID).Settled() {
+			out = append(out, lc.st.results[j.ID])
+		}
+	}
+	return out
+}
+
+// RunStats reports the cumulative scheduling-round and event counts of
+// the live run so far.
+func (lc *LiveController) RunStats() RunStats { return lc.ct.stats }
+
+// Snapshot summarizes the cluster's current state.
+func (lc *LiveController) Snapshot() LiveSnapshot {
+	t := lc.st.eng.Now()
+	s := LiveSnapshot{
+		Now:       t,
+		Pending:   lc.st.pendingArrivals,
+		Queued:    len(lc.st.queue),
+		Active:    len(lc.st.active),
+		Completed: lc.st.completed,
+		Failed:    lc.st.failed,
+		Rounds:    lc.ct.stats.Rounds,
+		Events:    lc.ct.stats.Events,
+	}
+	s.Utilization = lc.ct.cfg.Cloud.Utilization()
+	matured := 0
+	for _, r := range lc.st.releases {
+		s.PendingReleases++
+		if r.at <= t {
+			matured += len(r.placement.QubitToQPU)
+		}
+	}
+	if matured > 0 && lc.st.totalComputing > 0 {
+		s.Utilization -= float64(matured) / float64(lc.st.totalComputing)
+		if s.Utilization < 0 {
+			s.Utilization = 0 // float dust from the discount
+		}
+	}
+	return s
+}
+
+// QPULoad is one QPU's capacity and current reservation.
+type QPULoad struct {
+	ID              int
+	Computing, Comm int
+	UsedComputing   int
+}
+
+// QPULoads reports per-QPU computing reservations (communication qubits
+// are claimed and returned within each EPR round, so only their
+// capacity is meaningful between rounds). Matured trailing releases are
+// discounted exactly like Snapshot's Utilization, so summing the loads
+// always agrees with the snapshot in the same view.
+func (lc *LiveController) QPULoads() []QPULoad {
+	cl := lc.ct.cfg.Cloud
+	out := make([]QPULoad, cl.NumQPUs())
+	for i := range out {
+		q := cl.QPU(i)
+		out[i] = QPULoad{ID: i, Computing: q.Computing, Comm: q.Comm, UsedComputing: q.UsedComputing()}
+	}
+	t := lc.st.eng.Now()
+	for _, r := range lc.st.releases {
+		if r.at > t {
+			continue
+		}
+		for qpu, n := range r.placement.QubitsPerQPU() {
+			out[qpu].UsedComputing -= n
+		}
+	}
+	return out
+}
+
+// EPRAttempt returns the model's EPR-attempt round length in CX units —
+// the granularity the service's virtual-time pacer maps wall time onto.
+func (lc *LiveController) EPRAttempt() float64 { return lc.ct.cfg.Model.EPRAttempt }
+
+// OnlineStatsOf aggregates a result set's completed-job JCTs and waits,
+// failed count, and last-completion makespan into OnlineStats — the
+// summary the service's /v1/stats and the daemon's drain report share.
+func OnlineStatsOf(results []*JobResult) metrics.OnlineStats {
+	var jcts, waits []float64
+	failed := 0
+	makespan := 0.0
+	for _, r := range results {
+		if r.Failed {
+			failed++
+			continue
+		}
+		jcts = append(jcts, r.JCT)
+		waits = append(waits, r.WaitTime)
+		if r.Finished > makespan {
+			makespan = r.Finished
+		}
+	}
+	return metrics.AggregateOnline(jcts, waits, failed, makespan)
+}

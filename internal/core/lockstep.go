@@ -23,7 +23,6 @@ func (ct *Controller) RunLockStep(jobs []*Job) ([]*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ct.stats = RunStats{}
 	queue := append([]*Job(nil), jobs...)
 
 	var active []*activeJob
@@ -50,7 +49,7 @@ func (ct *Controller) RunLockStep(jobs []*Job) ([]*JobResult, error) {
 		// Admission: try placing waiting, arrived jobs.
 		if capacityChanged {
 			var err error
-			queue, active, err = ct.admit(queue, active, results, t, totalComputing)
+			queue, active, err = ct.admit(queue, active, results, t, totalComputing, nil)
 			if err != nil {
 				for _, aj := range active {
 					aj.placement.Release(ct.cfg.Cloud)

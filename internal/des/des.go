@@ -18,14 +18,20 @@ import (
 type Engine struct {
 	now       float64
 	seq       int64
+	headSeq   int64
 	processed int
 	queue     eventHeap
 }
 
 // NewEngine returns an engine with the clock at 0 and no events.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{headSeq: headSeqBase}
 }
+
+// headSeqBase seeds the head-of-time sequence far below every normal
+// sequence number, so SchedulePriority events sort before Schedule
+// events at the same instant while staying FIFO among themselves.
+const headSeqBase = -(int64(1) << 62)
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
@@ -54,6 +60,30 @@ func (e *Engine) ScheduleAfter(delay float64, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// SchedulePriority enqueues fn to run at absolute time at, ahead of
+// every Schedule-queued event at the same instant; among themselves,
+// priority events keep FIFO order. The controller schedules job
+// arrivals this way so an arrival always precedes a controller tick at
+// the same time — for the one-shot Run this matches scheduling all
+// arrivals up front, and for the live controller it makes late
+// submissions at time t indistinguishable from up-front ones.
+func (e *Engine) SchedulePriority(at float64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
+	}
+	e.headSeq++
+	heap.Push(&e.queue, &event{at: at, seq: e.headSeq, fn: fn})
+}
+
+// NextAt returns the time of the earliest pending event, or false when
+// the queue is empty.
+func (e *Engine) NextAt() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Step runs the earliest pending event, advancing the clock to its time.
 // It returns false when no events remain.
 func (e *Engine) Step() bool {
@@ -79,6 +109,20 @@ func (e *Engine) RunUntil(t float64) {
 		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", t, e.now))
 	}
 	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	e.now = t
+}
+
+// RunBefore executes events with time strictly < t, then advances the
+// clock to t. Events at exactly t stay queued, so a caller can still
+// inject priority events (job arrivals) at t that precede them — the
+// live controller's step primitive.
+func (e *Engine) RunBefore(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: RunBefore(%v) before now %v", t, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].at < t {
 		e.Step()
 	}
 	e.now = t

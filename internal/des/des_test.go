@@ -165,3 +165,79 @@ func TestQuickTimeOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSchedulePriorityPrecedesSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(1, func() { order = append(order, "tick") })
+	// Priority events beat earlier-scheduled normal events at the same
+	// instant, and stay FIFO among themselves.
+	e.SchedulePriority(1, func() { order = append(order, "arrive-a") })
+	e.SchedulePriority(1, func() { order = append(order, "arrive-b") })
+	e.Schedule(0, func() { order = append(order, "early") })
+	e.Run()
+	want := []string{"early", "arrive-a", "arrive-b", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulePriorityPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEngine()
+	e.RunUntil(5)
+	e.SchedulePriority(4, func() {})
+}
+
+func TestRunBeforeExcludesBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	e.Schedule(1, func() { fired = append(fired, 1) })
+	e.Schedule(2, func() { fired = append(fired, 2) })
+	e.RunBefore(2)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now = %v, want 2", e.Now())
+	}
+	// The boundary event is still pending and a priority event injected
+	// at now precedes it.
+	e.SchedulePriority(2, func() { fired = append(fired, -2) })
+	e.Run()
+	if len(fired) != 3 || fired[1] != -2 || fired[2] != 2 {
+		t.Fatalf("fired = %v, want [1 -2 2]", fired)
+	}
+}
+
+func TestRunBeforePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEngine()
+	e.RunUntil(5)
+	e.RunBefore(4)
+}
+
+func TestNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty engine should report false")
+	}
+	e.Schedule(7, func() {})
+	e.Schedule(3, func() {})
+	if at, ok := e.NextAt(); !ok || at != 3 {
+		t.Fatalf("NextAt = %v, %v, want 3, true", at, ok)
+	}
+}

@@ -1,0 +1,546 @@
+// Package service exposes a live CloudQC controller over HTTP JSON —
+// the always-on, multi-tenant admission front the paper's cloud setting
+// implies: tenants submit circuits to a central network-aware
+// controller at any time, a virtual-time pacer maps the wall clock onto
+// EPR-attempt rounds, and per-tenant token buckets plus in-flight
+// quotas bound each tenant's submission pressure before admission even
+// sees a job.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/jobs      submit a circuit (qlib name or inline OpenQASM);
+//	                   202 with the job id, 429 with a retry hint when
+//	                   the tenant is over its rate or quota
+//	GET  /v1/jobs/{id} one job's status and (once settled) its result
+//	GET  /v1/stats     stream aggregates: online stats + per-tenant SLO
+//	GET  /v1/cluster   cluster state: virtual clock, per-QPU load
+//
+// The server owns a core.LiveController and serializes all access; the
+// wall clock is injectable, so tests drive virtual time
+// deterministically with httptest.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/core"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/qasm"
+	"cloudqc/internal/qlib"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Controller is the live controller to serve. Required; the server
+	// assumes exclusive ownership.
+	Controller *core.LiveController
+	// TimeScale maps wall time onto virtual time: CX units per wall
+	// second (default 1000). With Table I's 10-CX EPR attempt, the
+	// default paces 100 EPR rounds per second.
+	TimeScale float64
+	// Rate is each tenant's sustained submission budget in jobs per
+	// wall second (token-bucket refill). Non-positive disables rate
+	// limiting.
+	Rate float64
+	// Burst is the token bucket's capacity — how many submissions a
+	// tenant may fire back-to-back before Rate throttles it. Defaults
+	// to max(1, ceil(Rate)).
+	Burst int
+	// MaxInFlight caps each tenant's unsettled jobs (pending + queued +
+	// running); submissions beyond it are rejected 429 until jobs
+	// settle. Non-positive means unlimited.
+	MaxInFlight int
+	// Now injects the wall clock; defaults to time.Now. Tests use a
+	// fake clock to drive the pacer deterministically.
+	Now func() time.Time
+}
+
+// Server is the HTTP front of one live controller. Create with New,
+// mount anywhere (it implements http.Handler), and call Drain on
+// shutdown to run the backlog dry.
+type Server struct {
+	mu  sync.Mutex
+	cfg Config
+	lc  *core.LiveController
+	mux *http.ServeMux
+	// epoch anchors the wall→virtual mapping at the first request.
+	epoch   time.Time
+	buckets map[int]*bucket
+	// unsettled tracks each tenant's in-flight job ids and settled
+	// caches finished/failed results in settle order, so per-request
+	// bookkeeping scales with the in-flight backlog, not with every job
+	// the daemon ever accepted (see sweep).
+	unsettled map[int]map[int]bool
+	settled   []*core.JobResult
+	nextID    int
+	rejected  int
+	draining  bool
+}
+
+// New validates the configuration and returns a serving-ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Controller == nil {
+		return nil, errors.New("service: Config.Controller is required")
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("service: negative TimeScale %v", cfg.TimeScale)
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1000
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = int(math.Ceil(cfg.Rate))
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{
+		cfg:       cfg,
+		lc:        cfg.Controller,
+		buckets:   make(map[int]*bucket),
+		unsettled: make(map[int]map[int]bool),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// advance maps the current wall instant onto virtual time and steps the
+// controller there. Callers hold s.mu. The first call anchors the
+// epoch, so virtual time 0 is the first request, not server start.
+func (s *Server) advance(now time.Time) error {
+	if s.draining {
+		return nil
+	}
+	if s.epoch.IsZero() {
+		s.epoch = now
+	}
+	v := now.Sub(s.epoch).Seconds() * s.cfg.TimeScale
+	return s.lc.StepUntil(v)
+}
+
+// sweep moves freshly settled jobs out of the per-tenant in-flight sets
+// into the settled cache, which stays sorted by job id (= submission
+// order) so aggregates are bit-deterministic regardless of map
+// iteration or settle order. Callers hold s.mu and have advanced the
+// controller; cost is proportional to the in-flight backlog only.
+func (s *Server) sweep() {
+	var fresh []*core.JobResult
+	for tenant, ids := range s.unsettled {
+		for id := range ids {
+			res, status := s.lc.Result(id)
+			if !status.Settled() {
+				continue
+			}
+			delete(ids, id)
+			fresh = append(fresh, res)
+		}
+		if len(ids) == 0 {
+			delete(s.unsettled, tenant)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	// Sort only the newly settled batch and merge it into the already-
+	// sorted cache, keeping the sweep linear in the cache size instead
+	// of re-sorting the full history every time.
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Job.ID < fresh[j].Job.ID })
+	merged := make([]*core.JobResult, 0, len(s.settled)+len(fresh))
+	i, j := 0, 0
+	for i < len(s.settled) && j < len(fresh) {
+		if s.settled[i].Job.ID < fresh[j].Job.ID {
+			merged = append(merged, s.settled[i])
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	merged = append(merged, s.settled[i:]...)
+	merged = append(merged, fresh[j:]...)
+	s.settled = merged
+}
+
+// Drain stops accepting submissions, runs every accepted job to
+// completion, and returns the final results in submission order.
+// Status and stats endpoints keep answering afterwards (503 only for
+// new submissions).
+func (s *Server) Drain() ([]*core.JobResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errors.New("service: already drained")
+	}
+	s.draining = true
+	results, err := s.lc.Drain()
+	if err == nil {
+		s.sweep() // the whole backlog just settled; stats stay consistent
+	}
+	return results, err
+}
+
+// SubmitRequest is POST /v1/jobs' body. Exactly one of Circuit and
+// QASM must be set.
+type SubmitRequest struct {
+	// Tenant identifies the submitting tenant; Priority is its
+	// fair-share weight (non-positive means 1).
+	Tenant   int `json:"tenant"`
+	Priority int `json:"priority,omitempty"`
+	// Circuit names a benchmark from the qlib generator library
+	// (e.g. "qft_n63"); QASM is an inline OpenQASM 2.0 program.
+	Circuit string `json:"circuit,omitempty"`
+	QASM    string `json:"qasm,omitempty"`
+	// DeadlineSlack sets the job's SLO deadline to
+	// arrival + circuit depth × slack CX units; 0 means no deadline.
+	DeadlineSlack float64 `json:"deadline_slack,omitempty"`
+}
+
+// JobResponse reports one job over the wire.
+type JobResponse struct {
+	ID         int     `json:"id"`
+	Tenant     int     `json:"tenant"`
+	Status     string  `json:"status"`
+	Arrival    float64 `json:"arrival"`
+	Deadline   float64 `json:"deadline,omitempty"`
+	VirtualNow float64 `json:"virtual_now"`
+	// Result fields, populated once the job settles.
+	PlacedAt    float64 `json:"placed_at,omitempty"`
+	Finished    float64 `json:"finished,omitempty"`
+	JCT         float64 `json:"jct,omitempty"`
+	WaitTime    float64 `json:"wait_time,omitempty"`
+	RemoteGates int     `json:"remote_gates,omitempty"`
+	MetDeadline *bool   `json:"met_deadline,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope; 429s carry the retry hint.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header: how long until
+	// the tenant's token bucket refills (rate limit) or a polling
+	// interval to retry on (quota).
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), 0)
+		return
+	}
+	circ, err := buildCircuit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+
+	// The response is built under the lock but written after releasing
+	// it (all handlers do this): a client that stops reading its socket
+	// must stall only its own connection, never the daemon.
+	s.mu.Lock()
+	code, resp, retryAfter := s.submit(req, circ)
+	s.mu.Unlock()
+	if code == http.StatusAccepted {
+		writeJSON(w, code, resp)
+	} else {
+		writeError(w, code, resp.(string), retryAfter)
+	}
+}
+
+// submit is handleSubmit's locked section; it returns the status code,
+// the response payload (JobResponse on 202, error text otherwise), and
+// the 429 retry hint.
+func (s *Server) submit(req SubmitRequest, circ *circuit.Circuit) (int, any, float64) {
+	if s.draining {
+		return http.StatusServiceUnavailable, "server is draining", 0
+	}
+	now := s.cfg.Now()
+	if err := s.advance(now); err != nil {
+		return http.StatusInternalServerError, err.Error(), 0
+	}
+	s.sweep()
+	// Quota before rate: a submission the quota refuses must not debit
+	// the tenant's token bucket, or retry-polling for a free slot would
+	// exhaust the rate budget the eventual accepted submission needs.
+	if q := s.cfg.MaxInFlight; q > 0 && len(s.unsettled[req.Tenant]) >= q {
+		s.rejected++
+		return http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %d has %d jobs in flight (quota %d)", req.Tenant, q, q), 1
+	}
+	if ok, wait := s.allow(req.Tenant, now); !ok {
+		s.rejected++
+		return http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %d over submission rate", req.Tenant), wait
+	}
+
+	arrival := s.lc.Now()
+	job := &core.Job{
+		ID:       s.nextID,
+		Circuit:  circ,
+		Arrival:  arrival,
+		Tenant:   req.Tenant,
+		Priority: req.Priority,
+	}
+	if req.DeadlineSlack > 0 {
+		job.Deadline = arrival + float64(circ.Depth())*req.DeadlineSlack
+	}
+	if err := s.lc.Submit(job); err != nil {
+		return http.StatusInternalServerError, err.Error(), 0
+	}
+	s.nextID++
+	if s.unsettled[req.Tenant] == nil {
+		s.unsettled[req.Tenant] = make(map[int]bool)
+	}
+	s.unsettled[req.Tenant][job.ID] = true
+	return http.StatusAccepted, s.jobResponse(job.ID), 0
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "job id must be an integer", 0)
+		return
+	}
+	s.mu.Lock()
+	if err := s.advance(s.cfg.Now()); err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	_, status := s.lc.Result(id)
+	var resp JobResponse
+	if status != core.StatusUnknown {
+		resp = s.jobResponse(id)
+	}
+	s.mu.Unlock()
+	if status == core.StatusUnknown {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %d", id), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobResponse renders a job's current state; callers hold s.mu and
+// have verified the id exists.
+func (s *Server) jobResponse(id int) JobResponse {
+	res, status := s.lc.Result(id)
+	resp := JobResponse{
+		ID:         id,
+		Tenant:     res.Job.Tenant,
+		Status:     status.String(),
+		Arrival:    res.Job.Arrival,
+		Deadline:   res.Job.Deadline,
+		VirtualNow: s.lc.Now(),
+	}
+	if status == core.StatusCompleted {
+		resp.PlacedAt = res.PlacedAt
+		resp.Finished = res.Finished
+		resp.JCT = res.JCT
+		resp.WaitTime = res.WaitTime
+		resp.RemoteGates = res.RemoteGates
+		if res.Job.Deadline > 0 {
+			met := res.Finished <= res.Job.Deadline
+			resp.MetDeadline = &met
+		}
+	}
+	return resp
+}
+
+// StatsResponse is GET /v1/stats: the accepted stream's aggregates so
+// far. Online covers settled jobs (completed + failed); SLO carries
+// deadline attainment and cross-tenant fairness in AggregateSLO's
+// shape, with NaN rendered as null.
+type StatsResponse struct {
+	VirtualNow float64 `json:"virtual_now"`
+	Submitted  int     `json:"submitted"`
+	Settled    int     `json:"settled"`
+	// Rejected counts 429-rejected submissions (rate or quota); they
+	// never reach the controller and are absent from every aggregate.
+	Rejected int                 `json:"rejected"`
+	Online   metrics.OnlineStats `json:"online"`
+	SLO      SLOWire             `json:"slo"`
+}
+
+// SLOWire is metrics.SLOStats with NaNs (no deadline-carrying jobs,
+// too few tenants) marshaled as null instead of breaking the encoder.
+type SLOWire struct {
+	Attainment *float64        `json:"attainment"`
+	Fairness   *float64        `json:"fairness"`
+	PerTenant  []TenantSLOWire `json:"per_tenant"`
+}
+
+// TenantSLOWire is one tenant's SLO slice on the wire.
+type TenantSLOWire struct {
+	Tenant     int      `json:"tenant"`
+	Weight     int      `json:"weight"`
+	Completed  int      `json:"completed"`
+	Failed     int      `json:"failed"`
+	MeanJCT    *float64 `json:"mean_jct"`
+	P99JCT     *float64 `json:"p99_jct"`
+	Attainment *float64 `json:"attainment"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if err := s.advance(s.cfg.Now()); err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	s.sweep()
+	resp := StatsResponse{
+		VirtualNow: s.lc.Now(),
+		Submitted:  s.nextID,
+		Settled:    len(s.settled),
+		Rejected:   s.rejected,
+		Online:     core.OnlineStatsOf(s.settled),
+		SLO:        sloWire(metrics.AggregateSLO(core.Outcomes(s.settled))),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ClusterResponse is GET /v1/cluster: the cluster's instantaneous
+// state under the virtual clock.
+type ClusterResponse struct {
+	VirtualNow float64           `json:"virtual_now"`
+	TimeScale  float64           `json:"time_scale"`
+	Draining   bool              `json:"draining"`
+	Snapshot   core.LiveSnapshot `json:"snapshot"`
+	QPUs       []core.QPULoad    `json:"qpus"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if err := s.advance(s.cfg.Now()); err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	resp := ClusterResponse{
+		VirtualNow: s.lc.Now(),
+		TimeScale:  s.cfg.TimeScale,
+		Draining:   s.draining,
+		Snapshot:   s.lc.Snapshot(),
+		QPUs:       s.lc.QPULoads(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// bucket is one tenant's token bucket (tokens = submissions).
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// allow takes one token from the tenant's bucket, reporting how long
+// until the next token when empty. Callers hold s.mu.
+func (s *Server) allow(tenant int, now time.Time) (bool, float64) {
+	if s.cfg.Rate <= 0 {
+		return true, 0
+	}
+	b := s.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: float64(s.cfg.Burst), last: now}
+		s.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * s.cfg.Rate
+	if max := float64(s.cfg.Burst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, (1 - b.tokens) / s.cfg.Rate
+}
+
+// buildCircuit resolves a submission's circuit: a qlib benchmark name
+// or an inline OpenQASM 2.0 program, exactly one of the two.
+func buildCircuit(req SubmitRequest) (*circuit.Circuit, error) {
+	switch {
+	case req.Circuit != "" && req.QASM != "":
+		return nil, errors.New("set exactly one of circuit and qasm, not both")
+	case req.Circuit != "":
+		c, err := qlib.Build(req.Circuit)
+		if err != nil {
+			return nil, fmt.Errorf("unknown circuit %q", req.Circuit)
+		}
+		return c, nil
+	case req.QASM != "":
+		c, err := qasm.Parse("inline", req.QASM)
+		if err != nil {
+			return nil, fmt.Errorf("qasm: %v", err)
+		}
+		if c.NumQubits() == 0 {
+			return nil, errors.New("qasm: empty register")
+		}
+		return c, nil
+	default:
+		return nil, errors.New("set one of circuit (qlib name) and qasm (inline program)")
+	}
+}
+
+func sloWire(s metrics.SLOStats) SLOWire {
+	out := SLOWire{
+		Attainment: fnil(s.Attainment),
+		Fairness:   fnil(s.Fairness),
+		PerTenant:  make([]TenantSLOWire, 0, len(s.PerTenant)),
+	}
+	for _, t := range s.PerTenant {
+		out.PerTenant = append(out.PerTenant, TenantSLOWire{
+			Tenant:     t.Tenant,
+			Weight:     t.Weight,
+			Completed:  t.Completed,
+			Failed:     t.Failed,
+			MeanJCT:    fnil(t.MeanJCT),
+			P99JCT:     fnil(t.P99JCT),
+			Attainment: fnil(t.Attainment),
+		})
+	}
+	return out
+}
+
+// fnil maps NaN to nil for JSON (the encoder rejects NaN outright).
+func fnil(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string, retryAfter float64) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter))))
+	}
+	writeJSON(w, code, ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}
