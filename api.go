@@ -10,6 +10,7 @@ import (
 	"cloudqc/internal/graph"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
+	"cloudqc/internal/plan"
 	"cloudqc/internal/qasm"
 	"cloudqc/internal/qlib"
 	"cloudqc/internal/sched"
@@ -237,6 +238,15 @@ func NewJobService(cfg ServiceConfig) (*JobService, error) { return service.New(
 func Intensity(c *Circuit) float64 {
 	return core.Intensity(c, core.DefaultBatchWeights())
 }
+
+// DefaultPlanCacheSize is the compile-once plan cache's default LRU
+// capacity, used when ClusterConfig.PlanCacheSize is zero.
+const DefaultPlanCacheSize = plan.DefaultCapacity
+
+// Fingerprint returns a circuit's structural fingerprint — the
+// plan-cache identity under which identical templates share compile
+// artifacts (placement, remote DAG) regardless of job identity.
+func Fingerprint(c *Circuit) CircuitFingerprint { return c.Fingerprint() }
 
 // Workloads returns the paper's four multi-tenant workload suites
 // (Mixed, QFT, Qugan, Arithmetic).

@@ -26,6 +26,8 @@ import (
 	"testing"
 
 	"cloudqc/internal/exp"
+	"cloudqc/internal/place"
+	"cloudqc/internal/plan"
 	"cloudqc/internal/sched"
 	"cloudqc/internal/workload"
 )
@@ -428,6 +430,84 @@ func BenchmarkAllocPolicyCloudQC(b *testing.B) { benchAllocPolicy(b, sched.Cloud
 
 func BenchmarkAllocPolicyTenantWeighted(b *testing.B) {
 	benchAllocPolicy(b, sched.TenantWeightedPolicy{})
+}
+
+// Plan-cache micro-benchmarks: the admit path's compile stage —
+// placement + remote-DAG contraction + execution-state setup — cold
+// (the full placer pipeline every job pays without the cache) vs
+// through a warmed plan cache (what a repeated template pays). CI
+// records both and gates their allocs/op; the hit path must stay >= 5x
+// faster than the cold path.
+
+func BenchmarkPlanCacheCold(b *testing.B) {
+	cl := NewRandomCloud(20, 0.3, 20, 5, 1)
+	circ, err := BuildCircuit("ghz_n127")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := DefaultPlacerConfig()
+	pcfg.Seed = 7
+	p := NewPlacer(pcfg)
+	lat := DefaultModel().Latency
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := p.Place(cl, circ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dag := BuildRemoteDAG(circ, cl, pl.QubitToQPU, lat)
+		if sched.NewJobState(dag, 0).Done() {
+			b.Fatal("empty remote DAG")
+		}
+	}
+}
+
+func BenchmarkPlanCacheHit(b *testing.B) {
+	cl := NewRandomCloud(20, 0.3, 20, 5, 1)
+	circ, err := BuildCircuit("ghz_n127")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := DefaultPlacerConfig()
+	pcfg.Seed = 7
+	p := NewPlacer(pcfg)
+	lat := DefaultModel().Latency
+
+	// Warm one entry, exactly as Cluster.admit's miss path does.
+	free := cl.FreeSnapshot()
+	key := plan.Key{Circuit: Fingerprint(circ), Cloud: cl.Signature(), Free: plan.FreeSignature(free)}
+	pl, err := p.Place(cl, circ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dag := BuildRemoteDAG(circ, cl, pl.QubitToQPU, lat)
+	cache := plan.New(plan.DefaultCapacity)
+	cache.Insert(key, free, &plan.Entry{
+		Assign:    pl.QubitToQPU,
+		CommCost:  CommCost(circ, cl, pl.QubitToQPU),
+		RemoteOps: RemoteOps(circ, pl.QubitToQPU),
+		DAG:       dag,
+		Prio:      dag.Priorities(),
+	})
+	state := new(sched.JobState) // the admit path reuses pooled states on hits
+	scratch := make([]int, 0, cl.NumQPUs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = scratch[:0]
+		for q := 0; q < cl.NumQPUs(); q++ {
+			scratch = append(scratch, cl.FreeComputing(q))
+		}
+		k := plan.Key{Circuit: Fingerprint(circ), Cloud: cl.Signature(), Free: plan.FreeSignature(scratch)}
+		e, ok := cache.Lookup(k, scratch)
+		if !ok {
+			b.Fatal("cache miss on warmed entry")
+		}
+		hit := &place.Placement{Circuit: circ, QubitToQPU: e.Assign}
+		state.Reinit(e.DAG, e.Prio, 0)
+		if state.Done() || len(hit.QubitToQPU) == 0 {
+			b.Fatal("degenerate hit")
+		}
+	}
 }
 
 // Component micro-benchmarks: the pieces the end-to-end numbers are made

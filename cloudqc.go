@@ -54,6 +54,7 @@ import (
 	"cloudqc/internal/graph"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
+	"cloudqc/internal/plan"
 	"cloudqc/internal/sched"
 	"cloudqc/internal/service"
 	"cloudqc/internal/simq"
@@ -127,6 +128,20 @@ type (
 	// ClusterRunStats counts the scheduling rounds and events of a
 	// Cluster's last run.
 	ClusterRunStats = core.RunStats
+	// PlanCacheStats reports the compile-once plan cache's hit, miss,
+	// and eviction counters plus its occupancy: the cache memoizes
+	// placement and remote-DAG construction per (circuit fingerprint,
+	// cloud shape, free-capacity signature), so repeated circuit
+	// templates admit without re-running the placement pipeline —
+	// bit-identically to uncached runs. Read it from
+	// Cluster.PlanCacheStats / LiveController.PlanCacheStats, size it
+	// with ClusterConfig.PlanCacheSize (or ServiceConfig.PlanCacheSize
+	// for the HTTP service, which also reports it on GET /v1/stats).
+	PlanCacheStats = plan.Stats
+	// CircuitFingerprint canonically identifies a circuit's structure
+	// (register size, gate count, gate-sequence hash); identical
+	// templates fingerprint identically regardless of job identity.
+	CircuitFingerprint = circuit.Fingerprint
 	// MigrationStats reports what the teleportation planner did.
 	MigrationStats = sched.MigrationStats
 	// LiveController is the incremental multi-tenant controller behind

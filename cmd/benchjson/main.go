@@ -1,25 +1,30 @@
 // Command benchjson turns `go test -bench` output into a JSON artifact
 // and compares two such artifacts for performance regressions. It is
 // the engine of CI's bench job: every PR emits a BENCH_<sha>.json
-// artifact, and the ClusterOnline benchmarks are compared against the
-// previous main-branch artifact, failing the job on >25% regressions of
-// the gated metrics — CI gates on the deterministic scheduling-round
-// counts (rounds/run, events/run) and reports wall time (ns/op) for the
-// trajectory without failing on it, since single-iteration timings on
-// shared runners are noisy.
+// artifact, and the ClusterOnline, LiveController, and PlanCache
+// benchmarks are compared against the previous main-branch artifact,
+// failing the job on >25% regressions of the gated metrics — CI gates
+// on the deterministic scheduling-round counts (rounds/run, events/run)
+// and, with -benchmem, on allocs/op (deterministic at a fixed
+// -benchtime for deterministic code), while wall time (ns/op) is
+// reported for the trajectory without failing on it, since
+// single-iteration timings on shared runners are noisy.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 1x . | benchjson emit -o BENCH_abc.json
-//	benchjson compare -threshold 0.25 -match ClusterOnline -metrics rounds/run,events/run old.json new.json
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson emit -o BENCH_abc.json
+//	benchjson compare -threshold 0.25 -match 'ClusterOnline|PlanCache' \
+//	  -metrics rounds/run,events/run,allocs/op old.json new.json
 //
 // emit reads benchmark output on stdin and writes JSON mapping each
 // benchmark name (Benchmark prefix and -GOMAXPROCS suffix stripped) to
-// its metrics: ns/op plus any custom b.ReportMetric units. compare
-// exits nonzero when any metric of any benchmark matching -match
-// regressed by more than -threshold (fractional; 0.25 = 25%). Metrics
-// where smaller is better are assumed throughout — true for ns/op,
-// rounds/run, and events/run.
+// its metrics: ns/op plus -benchmem's B/op and allocs/op and any custom
+// b.ReportMetric units. compare exits nonzero when any metric of any
+// benchmark matching -match regressed by more than -threshold
+// (fractional; 0.25 = 25%); a metric rising off a zero baseline (e.g. a
+// zero-alloc hot path starting to allocate) is always a regression.
+// Metrics where smaller is better are assumed throughout — true for
+// ns/op, B/op, allocs/op, rounds/run, and events/run.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -232,6 +238,11 @@ func compare(old, cur *Artifact, pattern string, threshold float64, gate map[str
 			delta := 0.0
 			if was != 0 {
 				delta = (now - was) / was
+			} else if now != 0 {
+				// Off a zero baseline any increase is infinite-percent: a
+				// zero-alloc hot path that starts allocating must gate no
+				// matter the threshold.
+				delta = math.Inf(1)
 			}
 			verdict := "ok"
 			switch {

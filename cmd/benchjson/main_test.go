@@ -77,6 +77,32 @@ func TestCompareFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestCompareZeroBaselineRegression(t *testing.T) {
+	// A metric rising off a zero baseline (a zero-alloc hot path that
+	// starts allocating) must gate regardless of the threshold.
+	old := &Artifact{Benchmarks: map[string]map[string]float64{
+		"PlanCacheHit": {"allocs/op": 0},
+	}}
+	cur := &Artifact{Benchmarks: map[string]map[string]float64{
+		"PlanCacheHit": {"allocs/op": 2},
+	}}
+	report, n, err := compare(old, cur, "PlanCache", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("zero-baseline increase not flagged:\n%s", report)
+	}
+	// Zero staying zero is fine.
+	_, n, err = compare(old, old, "PlanCache", 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("zero-to-zero flagged as regression")
+	}
+}
+
 func TestCompareMatchScopesGate(t *testing.T) {
 	// AllocPolicy doubles, but the gate only covers ClusterOnline.
 	cur := art(100, 100)

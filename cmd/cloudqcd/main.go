@@ -23,6 +23,9 @@
 //	-rate        per-tenant submissions/second (0 disables limiting)
 //	-burst       per-tenant burst capacity (default ceil(rate), min 1)
 //	-quota       per-tenant max in-flight jobs (0 = unlimited)
+//	-plancache   compile-once plan cache LRU capacity (0 = default 256,
+//	             negative disables caching; GET /v1/stats reports
+//	             hit/miss counters)
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/stats,
 // GET /v1/cluster — see internal/service for the wire format, and the
@@ -75,6 +78,7 @@ func build(args []string) (*service.Server, string, error) {
 		rate      = fs.Float64("rate", 0, "per-tenant submissions per second (0 = unlimited)")
 		burst     = fs.Int("burst", 0, "per-tenant burst capacity (default ceil(rate))")
 		quota     = fs.Int("quota", 0, "per-tenant max in-flight jobs (0 = unlimited)")
+		planCache = fs.Int("plancache", 0, "plan-cache LRU capacity (0 = default, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -102,11 +106,12 @@ func build(args []string) (*service.Server, string, error) {
 		return nil, "", err
 	}
 	srv, err := service.New(service.Config{
-		Controller:  lc,
-		TimeScale:   *timescale,
-		Rate:        *rate,
-		Burst:       *burst,
-		MaxInFlight: *quota,
+		Controller:    lc,
+		TimeScale:     *timescale,
+		Rate:          *rate,
+		Burst:         *burst,
+		MaxInFlight:   *quota,
+		PlanCacheSize: *planCache,
 	})
 	if err != nil {
 		return nil, "", err

@@ -2,6 +2,7 @@ package circuit
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cloudqc/internal/graph"
 )
@@ -15,6 +16,11 @@ type Circuit struct {
 
 	numQubits int
 	gates     []Gate
+	// fp memoizes Fingerprint; Append invalidates it. Atomic because
+	// workloads deliberately share one Circuit across jobs ("the
+	// execution pipeline never mutates them"), so concurrent readers
+	// may race to fill the memo — each computes the identical value.
+	fp atomic.Pointer[Fingerprint]
 }
 
 // New returns an empty circuit over n qubits.
@@ -44,6 +50,7 @@ func (c *Circuit) Append(gs ...Gate) {
 		}
 		c.gates = append(c.gates, g)
 	}
+	c.fp.Store(nil)
 }
 
 // TwoQubitGateCount returns the number of two-qubit gates (the "#2-Qubit

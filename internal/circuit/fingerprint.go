@@ -1,0 +1,69 @@
+package circuit
+
+import "math"
+
+// Fingerprint canonically identifies a circuit's structure: the register
+// size, the gate count, and a hash over the gate sequence (kind — which
+// fixes the Table I duration class — qubit operands, and rotation
+// parameter). Two jobs submitting the same template circuit fingerprint
+// identically regardless of job identity or circuit name, so compile
+// artifacts (placement, remote DAG) keyed by fingerprint are shared
+// across the whole stream; see internal/plan.
+//
+// The composite (Hash, Qubits, Gates) key makes accidental collisions
+// between structurally different circuits vanishingly unlikely: beyond
+// the 64-bit FNV-1a hash, colliding circuits would also need identical
+// register and gate counts.
+type Fingerprint struct {
+	// Hash is an FNV-1a digest of the register size and gate sequence.
+	Hash uint64
+	// Qubits is the register size.
+	Qubits int
+	// Gates is the gate count.
+	Gates int
+}
+
+// Zero reports whether f is the zero fingerprint (no circuit has one:
+// circuits cannot be empty-registered).
+func (f Fingerprint) Zero() bool { return f == Fingerprint{} }
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a state byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint returns the circuit's structural fingerprint, memoized
+// until the next Append. The memo makes repeated fingerprinting of a
+// queued job (re-hashed on every admission round while it waits for
+// capacity) a pointer load instead of a gate-list walk, and is safe on
+// circuits shared across jobs and goroutines: concurrent first readers
+// each compute the identical value and race benignly on the store.
+func (c *Circuit) Fingerprint() Fingerprint {
+	if p := c.fp.Load(); p != nil {
+		return *p
+	}
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(c.numQubits))
+	for _, g := range c.gates {
+		h = fnvMix(h, uint64(g.Kind))
+		h = fnvMix(h, uint64(int64(g.Qubits[0])))
+		h = fnvMix(h, uint64(int64(g.Qubits[1])))
+		if g.Param != 0 {
+			h = fnvMix(h, math.Float64bits(g.Param))
+		}
+	}
+	fp := Fingerprint{Hash: h, Qubits: c.numQubits, Gates: len(c.gates)}
+	c.fp.Store(&fp)
+	return fp
+}

@@ -1,0 +1,77 @@
+package circuit
+
+import "testing"
+
+// TestFingerprintIdentity: structurally identical circuits fingerprint
+// identically regardless of name or construction history — the property
+// that lets plan-cache entries be shared across jobs submitting the
+// same template.
+func TestFingerprintIdentity(t *testing.T) {
+	build := func(name string) *Circuit {
+		c := New(name, 4)
+		c.Append(H(0), CX(0, 1), CX(1, 2), RZ(3, 0.25), CX(2, 3))
+		c.MeasureAll()
+		return c
+	}
+	a, b := build("alpha"), build("beta")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical structures fingerprint differently: %+v vs %+v",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if cl := a.Clone(); cl.Fingerprint() != a.Fingerprint() {
+		t.Fatalf("clone fingerprint %+v differs from original %+v",
+			cl.Fingerprint(), a.Fingerprint())
+	}
+}
+
+// TestFingerprintSensitivity: any structural difference — register
+// size, gate kind, operand, rotation parameter, or gate order — changes
+// the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *Circuit {
+		c := New("c", 4)
+		c.Append(H(0), CX(0, 1), RZ(2, 0.5))
+		return c
+	}
+	fp := base().Fingerprint()
+
+	variants := map[string]*Circuit{}
+	wider := New("c", 5)
+	wider.Append(H(0), CX(0, 1), RZ(2, 0.5))
+	variants["register size"] = wider
+	kind := New("c", 4)
+	kind.Append(M(0), CX(0, 1), RZ(2, 0.5))
+	variants["gate kind"] = kind
+	operand := New("c", 4)
+	operand.Append(H(0), CX(0, 2), RZ(2, 0.5))
+	variants["operand"] = operand
+	param := New("c", 4)
+	param.Append(H(0), CX(0, 1), RZ(2, 0.25))
+	variants["rotation parameter"] = param
+	order := New("c", 4)
+	order.Append(CX(0, 1), H(0), RZ(2, 0.5))
+	variants["gate order"] = order
+
+	for what, c := range variants {
+		if c.Fingerprint() == fp {
+			t.Errorf("%s change did not change the fingerprint", what)
+		}
+	}
+}
+
+// TestFingerprintMemoInvalidation: Append after a fingerprint read must
+// invalidate the memo — a stale fingerprint would alias a longer
+// circuit onto a shorter template's cached plan.
+func TestFingerprintMemoInvalidation(t *testing.T) {
+	c := New("c", 3)
+	c.Append(H(0), CX(0, 1))
+	before := c.Fingerprint()
+	c.Append(CX(1, 2))
+	after := c.Fingerprint()
+	if before == after {
+		t.Fatal("Append did not invalidate the fingerprint memo")
+	}
+	if after.Gates != 3 {
+		t.Fatalf("fingerprint gate count = %d, want 3", after.Gates)
+	}
+}

@@ -6,6 +6,7 @@ package cloud
 
 import (
 	"fmt"
+	"math"
 
 	"cloudqc/internal/graph"
 )
@@ -31,12 +32,22 @@ func (q *QPU) FreeComputing() int { return q.Computing - q.used }
 func (q *QPU) UsedComputing() int { return q.used }
 
 // Cloud is a cluster of QPUs and its quantum-link topology. Hop
-// distances are precomputed: the paper's placement cost C_ij is the
-// path length between QPU i and QPU j.
+// distances and shortest-path trees are precomputed at construction:
+// the paper's placement cost C_ij is the path length between QPU i and
+// QPU j, and Path answers come from a next-hop table walk instead of a
+// per-call BFS (BuildRemoteDAG asks for one path per remote gate).
 type Cloud struct {
 	qpus []*QPU
 	topo *graph.Graph
 	dist [][]int
+	// parent[i][v] is v's parent in the BFS shortest-path tree rooted at
+	// QPU i (the next hop from v toward i); -1 when unreachable. Walking
+	// parent[i] from j back to i reproduces topo.ShortestPath(i, j)
+	// exactly, tie-breaks included.
+	parent [][]int
+	// sig canonically identifies the cloud's immutable shape (topology +
+	// per-QPU capacities) for plan-cache keys.
+	sig uint64
 }
 
 // New builds a cloud over the given topology where every QPU has the
@@ -50,8 +61,47 @@ func New(topo *graph.Graph, computing, comm int) *Cloud {
 	for i := range qpus {
 		qpus[i] = &QPU{ID: i, Computing: computing, Comm: comm}
 	}
-	return &Cloud{qpus: qpus, topo: topo, dist: topo.AllPairsHops()}
+	c := &Cloud{qpus: qpus, topo: topo}
+	c.dist = make([][]int, topo.N())
+	c.parent = make([][]int, topo.N())
+	for i := 0; i < topo.N(); i++ {
+		// One BFS per vertex yields both the AllPairsHops row and the
+		// shortest-path tree Path walks.
+		c.dist[i], c.parent[i] = topo.HopTree(i)
+	}
+	c.sig = c.signature()
+	return c
 }
+
+// signature hashes the cloud's immutable shape: QPU count, per-QPU
+// capacities, and the topology's edge list.
+func (c *Cloud) signature() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(len(c.qpus)))
+	for _, q := range c.qpus {
+		mix(uint64(q.Computing))
+		mix(uint64(q.Comm))
+	}
+	for _, e := range c.topo.Edges() {
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+		mix(math.Float64bits(e.W))
+	}
+	return h
+}
+
+// Signature canonically identifies the cloud's immutable shape
+// (topology and per-QPU qubit counts, not current reservations) —
+// half of a plan-cache key (see internal/plan).
+func (c *Cloud) Signature() uint64 { return c.sig }
 
 // NewRandom builds a cloud over a connected Erdős–Rényi topology
 // (paper default: edge probability 0.3).
@@ -72,8 +122,26 @@ func (c *Cloud) Topology() *graph.Graph { return c.topo }
 // paper's placement objective), or -1 if disconnected.
 func (c *Cloud) Distance(i, j int) int { return c.dist[i][j] }
 
-// Path returns one shortest QPU path from i to j inclusive.
-func (c *Cloud) Path(i, j int) []int { return c.topo.ShortestPath(i, j) }
+// Path returns one shortest QPU path from i to j inclusive, or nil if
+// j is unreachable from i. The path is read off the precomputed
+// shortest-path tree rooted at i — O(path length) per call — and is
+// identical, tie-breaks included, to what a fresh BFS
+// (graph.ShortestPath) would return.
+func (c *Cloud) Path(i, j int) []int {
+	if i == j {
+		return []int{i}
+	}
+	d := c.dist[i][j]
+	if d < 0 {
+		return nil
+	}
+	path := make([]int, d+1)
+	for x, k := j, d; k >= 0; k-- {
+		path[k] = x
+		x = c.parent[i][x]
+	}
+	return path
+}
 
 // Reserve claims n computing qubits on QPU i, failing if fewer are free.
 func (c *Cloud) Reserve(i, n int) error {

@@ -27,6 +27,7 @@ import (
 	"cloudqc/internal/epr"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
+	"cloudqc/internal/plan"
 	"cloudqc/internal/sched"
 )
 
@@ -157,6 +158,14 @@ type Config struct {
 	// Recorder, when non-nil, receives one utilization/queue sample per
 	// scheduling round.
 	Recorder *metrics.Recorder
+	// PlanCacheSize bounds the compile-once plan cache that memoizes
+	// placement and remote-DAG construction per (circuit fingerprint,
+	// cloud shape, free-capacity signature): 0 means
+	// plan.DefaultCapacity, negative disables caching. The cache only
+	// engages when Placer is deterministic (place.DeterministicPlacer —
+	// the CloudQC placers are); cached and uncached runs are
+	// bit-identical either way.
+	PlanCacheSize int
 }
 
 // RunStats summarizes the control-loop work of the last Run, for
@@ -184,7 +193,33 @@ type Controller struct {
 	vtime   float64
 	// stats describes the last Run/RunLockStep call.
 	stats RunStats
+	// planCache memoizes compile artifacts (placement, remote DAG) per
+	// (circuit fingerprint, free-capacity signature); nil when caching
+	// is disabled or the placer is not deterministic.
+	planCache *plan.Cache
+	// statePool recycles retired jobs' sched.JobStates so cache-hit
+	// admissions reuse per-node arrays instead of allocating fresh ones.
+	statePool []*sched.JobState
+	// Admission-round scratch, reused so the admit hot path stops
+	// allocating: the arrived-jobs list, the free-capacity snapshot, and
+	// WFQ ordering's per-tenant grouping and virtual-clock copies.
+	arrived     []*Job
+	freeScratch []int
+	wfqByTenant map[int][]*Job
+	wfqTenants  []int
+	wfqService  map[int]float64
+	wfqCursor   map[int]int
 }
+
+// statePoolCap bounds the JobState pool: enough for any realistic
+// concurrent-active set without pinning unbounded per-node arrays.
+const statePoolCap = 64
+
+// wfqScratchMaxTenants bounds the WFQ scratch maps: a stream cycling
+// through ever-fresh tenant ids (cloudqcd accepts client-supplied
+// tenants) must not grow controller memory without bound, so past this
+// many distinct tenants the scratch is rebuilt empty.
+const wfqScratchMaxTenants = 256
 
 // NewController validates the configuration and applies defaults.
 func NewController(cfg Config) (*Controller, error) {
@@ -221,11 +256,44 @@ func NewController(cfg Config) (*Controller, error) {
 			return nil, fmt.Errorf("core: QPU %d has no communication qubits", i)
 		}
 	}
-	return &Controller{
+	ct := &Controller{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		intensity: make(map[int]float64),
-	}, nil
+	}
+	if cfg.PlanCacheSize >= 0 {
+		if _, ok := cfg.Placer.(place.DeterministicPlacer); ok {
+			ct.planCache = plan.New(cfg.PlanCacheSize)
+		}
+	}
+	return ct, nil
+}
+
+// PlanCacheStats reports the plan cache's cumulative hit/miss/eviction
+// counters; the zero Stats (Enabled false) when caching is off.
+func (ct *Controller) PlanCacheStats() plan.Stats {
+	if ct.planCache == nil {
+		return plan.Stats{}
+	}
+	return ct.planCache.Stats()
+}
+
+// ConfigurePlanCache re-bounds the plan cache: size > 0 sets the LRU
+// capacity (evicting down if needed), 0 resets to plan.DefaultCapacity,
+// negative disables caching entirely. Enabling on a controller whose
+// placer is not deterministic is a no-op.
+func (ct *Controller) ConfigurePlanCache(size int) {
+	if size < 0 {
+		ct.planCache = nil
+		return
+	}
+	if ct.planCache == nil {
+		if _, ok := ct.cfg.Placer.(place.DeterministicPlacer); ok {
+			ct.planCache = plan.New(size)
+		}
+		return
+	}
+	ct.planCache.SetCapacity(size)
 }
 
 // activeJob is one placed, executing job.
@@ -311,6 +379,13 @@ type runState struct {
 	active          []*activeJob
 	releases        []release
 	budget          []int
+	// Per-round scratch, reused across ticks so the hot path stops
+	// allocating: the flattened request list, each active job's ready
+	// set (inner slices keep their capacity), and the states slice
+	// scheduleNext hands to EarliestEnableTime.
+	reqBuf    []sched.Request
+	readyBuf  [][]int
+	statesBuf []*sched.JobState
 	// nextRound is the next shared EPR round's time. Round times advance
 	// by repeated EPRAttempt addition from the instant multi-tenant
 	// execution (re)started — exactly the float sequence the lock-step
@@ -536,17 +611,33 @@ func (st *runState) tick() {
 
 	// One shared EPR round across every active job, when a round is due.
 	// Off-grid ticks (an arrival landing between rounds) only admit; the
-	// round cadence of already-running jobs is preserved.
+	// round cadence of already-running jobs is preserved. Requests and
+	// ready sets accumulate into reused scratch buffers — the same
+	// values collectRequests (the lock-step reference's allocating
+	// variant) would produce.
 	if !math.IsNaN(st.nextRound) && t >= st.nextRound {
 		ct.stats.Rounds++
-		reqs, readyByJob := collectRequests(st.active, t)
-		if len(reqs) > 0 {
+		st.reqBuf = st.reqBuf[:0]
+		for len(st.readyBuf) < len(st.active) {
+			st.readyBuf = append(st.readyBuf, nil)
+		}
+		for idx, aj := range st.active {
+			ready := aj.state.AppendReady(st.readyBuf[idx][:0], t)
+			st.readyBuf[idx] = ready
+			base := len(st.reqBuf)
+			st.reqBuf = aj.state.AppendRequests(st.reqBuf, idx, ready)
+			for i := base; i < len(st.reqBuf); i++ {
+				st.reqBuf[i].Tenant = aj.job.Tenant
+				st.reqBuf[i].TenantWeight = aj.job.Priority
+			}
+		}
+		if len(st.reqBuf) > 0 {
 			for i := range st.budget {
 				st.budget[i] = ct.cfg.Cloud.QPU(i).Comm
 			}
-			alloc := ct.cfg.Policy.Allocate(reqs, st.budget, ct.rng)
+			alloc := ct.cfg.Policy.Allocate(st.reqBuf, st.budget, ct.rng)
 			for idx, aj := range st.active {
-				for _, u := range readyByJob[idx] {
+				for _, u := range st.readyBuf[idx] {
 					aj.state.Attempt(u, alloc[sched.NodeKey{Job: idx, Node: u}], t, ct.cfg.Model, ct.rng)
 				}
 			}
@@ -554,7 +645,8 @@ func (st *runState) tick() {
 		st.nextRound = t + ct.cfg.Model.EPRAttempt
 	}
 
-	// Retire completed jobs.
+	// Retire completed jobs; their execution states return to the pool
+	// for later admissions to reuse.
 	remaining := st.active[:0]
 	for _, aj := range st.active {
 		if !aj.state.Done() {
@@ -572,6 +664,8 @@ func (st *runState) tick() {
 		if finished > st.maxFinished {
 			st.maxFinished = finished
 		}
+		ct.releaseJobState(aj.state)
+		aj.state = nil
 	}
 	st.active = remaining
 
@@ -626,11 +720,11 @@ func (st *runState) scheduleNext(t float64) {
 	// Earliest instant any active job can attempt EPR generation; a
 	// maturing release also matters (placement retries, utilization
 	// samples), processed on the round grid like the lock-step loop.
-	states := make([]*sched.JobState, len(st.active))
-	for i, aj := range st.active {
-		states[i] = aj.state
+	st.statesBuf = st.statesBuf[:0]
+	for _, aj := range st.active {
+		st.statesBuf = append(st.statesBuf, aj.state)
 	}
-	wake, ok := sched.EarliestEnableTime(states, t)
+	wake, ok := sched.EarliestEnableTime(st.statesBuf, t)
 	if !ok {
 		// Unreachable: an unfinished job always has a runnable node. Keep
 		// the round cadence rather than spinning the skip loop forever.
@@ -658,8 +752,13 @@ func (st *runState) scheduleNext(t float64) {
 // larger than the whole cloud are marked failed. st carries the live
 // status index (nil from the lock-step loop).
 func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*JobResult, t float64, totalComputing int, st *runState) ([]*Job, []*activeJob, error) {
-	arrived := make([]*Job, 0, len(queue))
-	var waiting []*Job
+	// Partition in place: not-yet-arrived jobs compact into queue's
+	// prefix, arrived ones move to a controller-owned scratch list.
+	// Bounced jobs are appended back onto the prefix — the combined
+	// length never exceeds the original queue, so the hot path
+	// reallocates nothing once the scratch warms up.
+	arrived := ct.arrived[:0]
+	waiting := queue[:0]
 	for _, j := range queue {
 		if j.Arrival <= t {
 			arrived = append(arrived, j)
@@ -674,7 +773,7 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 			st.setStatus(j.ID, StatusFailed)
 			continue
 		}
-		pl, err := ct.cfg.Placer.Place(ct.cfg.Cloud, j.Circuit)
+		pl, dag, prio, err := ct.compile(j)
 		if err != nil {
 			var infeasible *place.ErrInfeasible
 			if errors.As(err, &infeasible) {
@@ -683,6 +782,7 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 			}
 			// Return the state held so far: callers release the active
 			// placements on this path so the cloud is not leaked.
+			ct.arrived = arrived[:0]
 			return waiting, active, fmt.Errorf("core: placing job %d: %w", j.ID, err)
 		}
 		if err := pl.Reserve(ct.cfg.Cloud); err != nil {
@@ -694,13 +794,13 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 			// waiting must not inflate their tenant's virtual service.
 			ct.chargeWFQ(j)
 		}
-		dag := sched.BuildRemoteDAG(j.Circuit, ct.cfg.Cloud, pl.QubitToQPU, ct.cfg.Model.Latency)
-		state := sched.NewJobState(dag, t)
+		state := ct.takeJobState(dag, prio, t)
 		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t})
 		results[j.ID].RemoteGates = dag.Len()
 		results[j.ID].Placement = pl
 		st.setStatus(j.ID, StatusRunning)
 	}
+	ct.arrived = arrived[:0]
 	// Preserve arrival order among the still-waiting arrived jobs by
 	// re-sorting the combined waiting list on (Arrival, ID).
 	sort.SliceStable(waiting, func(i, k int) bool {
@@ -710,6 +810,81 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 		return waiting[i].ID < waiting[k].ID
 	})
 	return waiting, active, nil
+}
+
+// compile resolves a job's placement and remote DAG against the cloud's
+// current free-capacity state: a plan-cache hit returns the memoized
+// assignment, DAG skeleton, and priorities; a miss (or disabled cache)
+// runs the full placer pipeline and, on success, caches the artifacts
+// under the exact free snapshot the placer saw. Because the cached
+// placement was computed under an identical snapshot by a deterministic
+// placer, a hit is bit-identical to what the cold path would produce —
+// and necessarily still fits the QPUs it touches.
+func (ct *Controller) compile(j *Job) (*place.Placement, *sched.RemoteDAG, []int, error) {
+	cl := ct.cfg.Cloud
+	if ct.planCache == nil {
+		pl, err := ct.cfg.Placer.Place(cl, j.Circuit)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		dag := sched.BuildRemoteDAG(j.Circuit, cl, pl.QubitToQPU, ct.cfg.Model.Latency)
+		return pl, dag, nil, nil
+	}
+	free := ct.freeScratch[:0]
+	for i, n := 0, cl.NumQPUs(); i < n; i++ {
+		free = append(free, cl.FreeComputing(i))
+	}
+	ct.freeScratch = free
+	key := plan.Key{
+		Circuit: j.Circuit.Fingerprint(),
+		Cloud:   cl.Signature(),
+		Free:    plan.FreeSignature(free),
+	}
+	if e, ok := ct.planCache.Lookup(key, free); ok {
+		return &place.Placement{Circuit: j.Circuit, QubitToQPU: e.Assign}, e.DAG, e.Prio, nil
+	}
+	pl, err := ct.cfg.Placer.Place(cl, j.Circuit)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dag := sched.BuildRemoteDAG(j.Circuit, cl, pl.QubitToQPU, ct.cfg.Model.Latency)
+	prio := dag.Priorities()
+	ct.planCache.Insert(key, free, &plan.Entry{
+		Assign: pl.QubitToQPU,
+		// CommCost is an O(two-qubit gates) pass — noise next to the
+		// placement sweep this miss already paid; RemoteOps is the remote
+		// DAG's node count by construction (one node per QPU-crossing
+		// two-qubit gate), so it costs nothing to record.
+		CommCost:  place.CommCost(j.Circuit, cl, pl.QubitToQPU),
+		RemoteOps: dag.Len(),
+		DAG:       dag,
+		Prio:      prio,
+	})
+	return pl, dag, prio, nil
+}
+
+// takeJobState builds a job's execution state, reusing a pooled
+// JobState's per-node arrays when one is available. prio is the cached
+// priority slice on plan-cache hits (nil computes it fresh).
+func (ct *Controller) takeJobState(dag *sched.RemoteDAG, prio []int, start float64) *sched.JobState {
+	var s *sched.JobState
+	if n := len(ct.statePool); n > 0 {
+		s = ct.statePool[n-1]
+		ct.statePool[n-1] = nil
+		ct.statePool = ct.statePool[:n-1]
+	} else {
+		s = new(sched.JobState)
+	}
+	s.Reinit(dag, prio, start)
+	return s
+}
+
+// releaseJobState returns a retired job's execution state to the pool.
+// Callers must not touch s afterwards.
+func (ct *Controller) releaseJobState(s *sched.JobState) {
+	if len(ct.statePool) < statePoolCap {
+		ct.statePool = append(ct.statePool, s)
+	}
 }
 
 // orderArrived sorts the arrived-and-waiting jobs into this round's
@@ -779,13 +954,41 @@ func (ct *Controller) wfqOrder(arrived []*Job) {
 	if len(arrived) < 2 {
 		return
 	}
-	byTenant := make(map[int][]*Job)
-	var tenants []int
+	// The per-tenant grouping and the scratch virtual clocks live on the
+	// controller, cleared per round via the tenants list (so the round
+	// cost scales with the tenants currently queued, not every tenant
+	// ever seen) instead of reallocated: WFQ admission runs on every
+	// capacity change, and the old per-round map churn dominated its
+	// cost. An adversarial stream of ever-fresh tenant ids would still
+	// accumulate empty map entries, so past the bound the scratch is
+	// rebuilt from scratch.
+	if ct.wfqByTenant == nil || len(ct.wfqByTenant) > wfqScratchMaxTenants {
+		ct.wfqByTenant = make(map[int][]*Job)
+		ct.wfqService = make(map[int]float64)
+		ct.wfqCursor = make(map[int]int)
+	}
+	byTenant := ct.wfqByTenant
+	tenants := ct.wfqTenants[:0]
+	defer func() {
+		// Release the grouped job pointers (the [:0] reslice alone would
+		// keep them reachable through the backing arrays) and leave every
+		// touched entry empty for the next round's len==0 "new tenant"
+		// test.
+		for _, tn := range tenants {
+			g := byTenant[tn]
+			for i := range g {
+				g[i] = nil
+			}
+			byTenant[tn] = g[:0]
+		}
+		ct.wfqTenants = tenants[:0]
+	}()
 	for _, j := range arrived {
-		if _, ok := byTenant[j.Tenant]; !ok {
+		g := byTenant[j.Tenant]
+		if len(g) == 0 {
 			tenants = append(tenants, j.Tenant)
 		}
-		byTenant[j.Tenant] = append(byTenant[j.Tenant], j)
+		byTenant[j.Tenant] = append(g, j)
 	}
 	sort.Ints(tenants)
 	for _, tn := range tenants {
@@ -801,12 +1004,14 @@ func (ct *Controller) wfqOrder(arrived []*Job) {
 			return g[i].ID < g[k].ID
 		})
 	}
-	service := make(map[int]float64, len(tenants))
+	// Stale keys from earlier rounds may linger in the scratch maps;
+	// only the current tenants' entries are (re)initialized and read.
+	service, cursor := ct.wfqService, ct.wfqCursor
 	for _, tn := range tenants {
 		service[tn] = ct.service[tn]
+		cursor[tn] = 0
 	}
 	vtime := ct.vtime
-	cursor := make(map[int]int, len(tenants))
 	for i := range arrived {
 		best := -1
 		var bestStart, bestFinish float64

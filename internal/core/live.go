@@ -6,6 +6,7 @@ import (
 
 	"cloudqc/internal/des"
 	"cloudqc/internal/metrics"
+	"cloudqc/internal/plan"
 )
 
 // JobStatus is a submitted job's lifecycle state in a LiveController.
@@ -282,6 +283,16 @@ func (lc *LiveController) SettledResults() []*JobResult {
 // RunStats reports the cumulative scheduling-round and event counts of
 // the live run so far.
 func (lc *LiveController) RunStats() RunStats { return lc.ct.stats }
+
+// PlanCacheStats reports the compile-once plan cache's hit/miss
+// counters (the zero Stats when caching is disabled) — surfaced by the
+// service layer on GET /v1/stats.
+func (lc *LiveController) PlanCacheStats() plan.Stats { return lc.ct.PlanCacheStats() }
+
+// ConfigurePlanCache re-bounds the plan cache mid-run: size > 0 sets
+// the LRU capacity, 0 resets to the default, negative disables caching
+// (see Controller.ConfigurePlanCache).
+func (lc *LiveController) ConfigurePlanCache(size int) { lc.ct.ConfigurePlanCache(size) }
 
 // Snapshot summarizes the cluster's current state.
 func (lc *LiveController) Snapshot() LiveSnapshot {

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/plan"
+	"cloudqc/internal/qlib"
+)
+
+// cacheStream builds a repeated-template job stream: a handful of
+// distinct qlib circuits cycled across many jobs (every job gets its
+// own Circuit instance, like real submissions), so the plan cache sees
+// genuine cross-job template reuse.
+func cacheStream(t *testing.T, poisson, tenants bool, seed int64) []*Job {
+	t.Helper()
+	templates := []string{"ghz_n127", "qft_n29", "qugan_n39", "cat_n65"}
+	rng := rand.New(rand.NewSource(seed))
+	arrival := 0.0
+	jobs := make([]*Job, 0, 12)
+	for i := 0; i < 12; i++ {
+		c, err := qlib.Build(templates[i%len(templates)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := &Job{ID: i, Circuit: c, Arrival: arrival}
+		if tenants {
+			j.Tenant = i % 3
+			j.Priority = 1 << (i % 3)
+			j.Deadline = arrival + float64(c.Depth())*(20+rng.Float64()*60)
+		}
+		jobs = append(jobs, j)
+		if poisson {
+			arrival += rng.ExpFloat64() * 2000
+		}
+	}
+	return jobs
+}
+
+// cacheConfig mirrors liveEquivConfig with the plan cache switchable.
+func cacheConfig(seed int64, mode Mode, cacheSize int) (Config, *metrics.Recorder) {
+	pCfg := place.DefaultConfig()
+	pCfg.Seed = seed
+	rec := metrics.NewRecorder(0)
+	return Config{
+		Cloud:         cloud.NewRandom(10, 0.3, 20, 5, 1),
+		Placer:        place.NewCloudQC(pCfg),
+		Mode:          mode,
+		Seed:          seed,
+		Recorder:      rec,
+		PlanCacheSize: cacheSize,
+	}, rec
+}
+
+// TestPlanCacheDifferential is the tentpole's bit-identicality
+// guarantee: with the plan cache enabled, every admission mode on batch
+// and Poisson repeated-template streams produces exactly the results,
+// round/event counts, and recorder series of a cache-disabled run — and
+// the cached run must actually hit (a vacuously cold cache would prove
+// nothing).
+func TestPlanCacheDifferential(t *testing.T) {
+	cases := []struct {
+		name    string
+		mode    Mode
+		poisson bool
+		tenants bool
+	}{
+		{"batch-batchmode", BatchMode, false, false},
+		{"batch-fifo", FIFOMode, false, false},
+		{"batch-edf", EDFMode, false, true},
+		{"batch-wfq", WFQMode, false, true},
+		{"poisson-batchmode", BatchMode, true, false},
+		{"poisson-fifo", FIFOMode, true, false},
+		{"poisson-edf", EDFMode, true, true},
+		{"poisson-wfq", WFQMode, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				cfgCold, recCold := cacheConfig(seed, tc.mode, -1) // cache disabled
+				cold, err := NewController(cfgCold)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s := cold.PlanCacheStats(); s.Enabled {
+					t.Fatal("negative PlanCacheSize did not disable the cache")
+				}
+				want, err := cold.Run(cacheStream(t, tc.poisson, tc.tenants, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				cfgHot, recHot := cacheConfig(seed, tc.mode, 0) // default-sized cache
+				hot, err := NewController(cfgHot)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := hot.Run(cacheStream(t, tc.poisson, tc.tenants, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if stats := hot.PlanCacheStats(); !stats.Enabled || stats.Hits == 0 {
+					t.Fatalf("seed %d: cached run never hit (stats %+v); differential is vacuous",
+						seed, stats)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("result count %d vs %d", len(got), len(want))
+				}
+				for i := range want {
+					w, g := want[i], got[i]
+					if g.Job.ID != w.Job.ID || g.Failed != w.Failed ||
+						g.PlacedAt != w.PlacedAt || g.Finished != w.Finished ||
+						g.JCT != w.JCT || g.WaitTime != w.WaitTime ||
+						g.RemoteGates != w.RemoteGates {
+						t.Fatalf("seed %d job %d diverged:\ncold %+v\nhot  %+v",
+							seed, w.Job.ID, *w, *g)
+					}
+					if (w.Placement == nil) != (g.Placement == nil) {
+						t.Fatalf("seed %d job %d placement presence diverged", seed, w.Job.ID)
+					}
+					if w.Placement != nil {
+						wq, gq := w.Placement.QubitToQPU, g.Placement.QubitToQPU
+						if len(wq) != len(gq) {
+							t.Fatalf("seed %d job %d placement widths differ", seed, w.Job.ID)
+						}
+						for q := range wq {
+							if wq[q] != gq[q] {
+								t.Fatalf("seed %d job %d qubit %d placed on %d (cold) vs %d (hot)",
+									seed, w.Job.ID, q, wq[q], gq[q])
+							}
+						}
+					}
+				}
+				if cold.LastRunStats() != hot.LastRunStats() {
+					t.Fatalf("seed %d run stats diverged: cold %+v, hot %+v",
+						seed, cold.LastRunStats(), hot.LastRunStats())
+				}
+				sc, sh := recCold.Samples(), recHot.Samples()
+				if len(sc) != len(sh) {
+					t.Fatalf("seed %d recorder length diverged: %d vs %d", seed, len(sc), len(sh))
+				}
+				for i := range sc {
+					if sc[i] != sh[i] {
+						t.Fatalf("seed %d sample %d diverged: %+v vs %+v", seed, i, sc[i], sh[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanCacheLiveDifferential: the live controller with the cache
+// reproduces the cache-disabled one-shot Run bit-identically on a
+// Poisson repeated-template stream under WFQ — cache, streaming
+// submission, and state pooling composed.
+func TestPlanCacheLiveDifferential(t *testing.T) {
+	const seed = 3
+	cfgCold, _ := cacheConfig(seed, WFQMode, -1)
+	cold, err := NewController(cfgCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Run(cacheStream(t, true, true, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgHot, _ := cacheConfig(seed, WFQMode, 0)
+	lc, err := NewLiveController(cfgHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range cacheStream(t, true, true, seed) {
+		if err := lc.StepUntil(j.Arrival); err != nil {
+			t.Fatal(err)
+		}
+		if err := lc.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := lc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := lc.PlanCacheStats(); stats.Hits == 0 {
+		t.Fatalf("live cached run never hit: %+v", stats)
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Job.ID != w.Job.ID || g.Failed != w.Failed || g.Finished != w.Finished ||
+			g.JCT != w.JCT || g.RemoteGates != w.RemoteGates {
+			t.Fatalf("job %d diverged:\ncold run %+v\nlive hot %+v", w.Job.ID, *w, *g)
+		}
+	}
+	if cold.LastRunStats() != lc.RunStats() {
+		t.Fatalf("run stats diverged: cold %+v, live %+v", cold.LastRunStats(), lc.RunStats())
+	}
+}
+
+// TestPlanCacheCapacityInvalidation: a cached placement is never reused
+// once the cloud's free capacity changed — the free-capacity signature
+// keys it out — and every hit's placement fits the QPUs it touches.
+func TestPlanCacheCapacityInvalidation(t *testing.T) {
+	cfg, _ := cacheConfig(1, BatchMode, 0)
+	ct, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := qlib.Build("ghz_n127") // spans several 20-qubit QPUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{ID: 0, Circuit: c}
+
+	// Cold compile on the idle cloud populates the cache.
+	pl1, _, _, err := ct.compile(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ct.PlanCacheStats(); s.Hits != 0 || s.Misses != 1 {
+		t.Fatalf("after cold compile: %+v", s)
+	}
+
+	// Same template, same idle cloud: must hit with the identical
+	// assignment, and the entry's cost metrics must match the place
+	// package's ground truth for that assignment.
+	pl2, dag2, _, err := ct.compile(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ct.PlanCacheStats(); s.Hits != 1 {
+		t.Fatalf("identical state did not hit: %+v", s)
+	}
+	free := cfg.Cloud.FreeSnapshot()
+	entry, ok := ct.planCache.Lookup(plan.Key{
+		Circuit: c.Fingerprint(),
+		Cloud:   cfg.Cloud.Signature(),
+		Free:    plan.FreeSignature(free),
+	}, free)
+	if !ok {
+		t.Fatal("direct lookup missed the warmed entry")
+	}
+	if want := place.CommCost(c, cfg.Cloud, pl2.QubitToQPU); entry.CommCost != want {
+		t.Fatalf("cached CommCost %v, ground truth %v", entry.CommCost, want)
+	}
+	if want := place.RemoteOps(c, pl2.QubitToQPU); entry.RemoteOps != want || entry.RemoteOps != dag2.Len() {
+		t.Fatalf("cached RemoteOps %d, ground truth %d, dag %d", entry.RemoteOps, want, dag2.Len())
+	}
+	for q := range pl1.QubitToQPU {
+		if pl1.QubitToQPU[q] != pl2.QubitToQPU[q] {
+			t.Fatalf("hit returned a different placement at qubit %d", q)
+		}
+	}
+
+	// Occupy one QPU the cached placement uses: the signature changes,
+	// the stale plan must not be served, and the fresh plan must fit the
+	// shrunken capacity.
+	used := pl1.UsedQPUs()[0]
+	if err := cfg.Cloud.Reserve(used, cfg.Cloud.FreeComputing(used)); err != nil {
+		t.Fatal(err)
+	}
+	pl3, _, _, err := ct.compile(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hits stay at 2 (the compile hit plus the direct entry inspection
+	// above); the capacity change must cost a fresh miss.
+	if s := ct.PlanCacheStats(); s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("capacity change did not invalidate: %+v", s)
+	}
+	if err := pl3.Validate(cfg.Cloud); err != nil {
+		t.Fatalf("post-change placement does not fit: %v", err)
+	}
+	for _, q := range pl3.UsedQPUs() {
+		if q == used {
+			t.Fatalf("fresh placement uses fully occupied QPU %d", used)
+		}
+	}
+}
+
+// TestPlanCacheEvictionStaysCorrect: a single-entry cache thrashing
+// across alternating templates still produces results identical to an
+// uncached run — eviction affects performance only.
+func TestPlanCacheEvictionStaysCorrect(t *testing.T) {
+	const seed = 4
+	cfgCold, _ := cacheConfig(seed, FIFOMode, -1)
+	cold, err := NewController(cfgCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Run(cacheStream(t, true, false, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgTiny, _ := cacheConfig(seed, FIFOMode, 1)
+	tiny, err := NewController(cfgTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiny.Run(cacheStream(t, true, false, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tiny.PlanCacheStats()
+	if stats.Capacity != 1 || stats.Evictions == 0 {
+		t.Fatalf("single-entry cache never evicted: %+v", stats)
+	}
+	for i := range want {
+		if want[i].Job.ID != got[i].Job.ID || want[i].Failed != got[i].Failed ||
+			want[i].Finished != got[i].Finished || want[i].JCT != got[i].JCT {
+			t.Fatalf("job %d diverged under eviction pressure", want[i].Job.ID)
+		}
+	}
+}
+
+// TestPlanCacheDisabledForStatefulPlacers: the Random baseline draws
+// from a persistent RNG, so memoizing it would change results — the
+// controller must refuse to cache it.
+func TestPlanCacheDisabledForStatefulPlacers(t *testing.T) {
+	ct, err := NewController(Config{
+		Cloud:  cloud.NewRandom(10, 0.3, 20, 5, 1),
+		Placer: place.NewRandom(1),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ct.PlanCacheStats(); s.Enabled {
+		t.Fatalf("cache enabled for the stateful Random placer: %+v", s)
+	}
+	// Asking for a cache explicitly must stay a no-op.
+	ct.ConfigurePlanCache(64)
+	if s := ct.PlanCacheStats(); s.Enabled {
+		t.Fatal("ConfigurePlanCache enabled caching for a stateful placer")
+	}
+}
+
+// TestConfigurePlanCache: resizing and disabling through the public
+// knob.
+func TestConfigurePlanCache(t *testing.T) {
+	cfg, _ := cacheConfig(1, BatchMode, 0)
+	ct, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ct.PlanCacheStats(); !s.Enabled || s.Capacity != plan.DefaultCapacity {
+		t.Fatalf("default cache stats %+v", s)
+	}
+	ct.ConfigurePlanCache(7)
+	if s := ct.PlanCacheStats(); s.Capacity != 7 {
+		t.Fatalf("capacity after resize = %d, want 7", s.Capacity)
+	}
+	ct.ConfigurePlanCache(-1)
+	if s := ct.PlanCacheStats(); s.Enabled {
+		t.Fatalf("cache still enabled after disable: %+v", s)
+	}
+	// Re-enabling restores a fresh cache for the deterministic placer.
+	ct.ConfigurePlanCache(16)
+	if s := ct.PlanCacheStats(); !s.Enabled || s.Capacity != 16 {
+		t.Fatalf("re-enable stats %+v", s)
+	}
+}

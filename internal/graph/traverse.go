@@ -56,6 +56,38 @@ func (g *Graph) AllPairsHops() [][]int {
 	return d
 }
 
+// HopTree returns start's BFS distances together with the BFS-tree
+// parent of every vertex (parent[start] = start; unreachable vertices
+// get dist -1 and parent -1). Neighbors are visited in ascending index
+// order, so walking parents from v back to start reproduces exactly the
+// path ShortestPath(start, v) returns — callers that precompute one
+// tree per vertex get ShortestPath answers by table walk instead of a
+// fresh BFS per query (see cloud.Path).
+func (g *Graph) HopTree(start int) (dist, parent []int) {
+	g.check(start)
+	dist = make([]int, g.n)
+	parent = make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[start] = 0
+	parent[start] = start
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
 // ShortestPath returns one shortest path (by hops) from u to v inclusive,
 // or nil if v is unreachable from u. Ties break toward lower vertex
 // indices, so the result is deterministic.

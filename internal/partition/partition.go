@@ -74,19 +74,15 @@ func KWay(g *graph.Graph, k int, imbalance float64, seed int64) (*Result, error)
 	}
 
 	parts := lvl.initialPartition(k, cap)
-	lvl.refine(parts, k, cap, refinePasses)
+	lvl.refine(parts, k, cap)
 	for i := len(stack) - 1; i >= 0; i-- {
 		parent := stack[i]
 		parts = parent.project(parts)
 		lvl = parent
-		lvl.refine(parts, k, cap, refinePasses)
+		lvl.refine(parts, k, cap)
 	}
 	return finish(g, parts, k), nil
 }
-
-// refinePasses bounds boundary-KL sweeps per level; gains vanish quickly
-// after a couple of passes on these graph sizes (<=160 qubits).
-const refinePasses = 4
 
 func capacityFor(n, k int, imbalance float64) int {
 	target := float64(n) / float64(k)

@@ -1,11 +1,17 @@
 package partition
 
-// refine runs boundary Kernighan–Lin passes: each pass scans boundary
-// vertices in index order and applies the single best positive-gain move
-// available for that vertex, provided the destination part stays under
-// cap and the source part does not empty. Passes stop early when a sweep
-// makes no move.
-func (l *level) refine(parts []int, k, cap, passes int) {
+// refine runs boundary Kernighan–Lin passes to convergence: each pass
+// scans boundary vertices in index order and applies the single best
+// positive-gain move available for that vertex, provided the
+// destination part stays under cap and the source part does not empty.
+// Sweeping stops when a pass makes no move — which must happen: every
+// move strictly decreases the lexicographic potential (cut, Σ load²)
+// (positive-gain moves cut the cut, zero-gain moves only go to strictly
+// lighter parts), so no state repeats and the finite state space bounds
+// the move count. A fixed pass budget (the old bound was 4) could stop
+// short and leave obviously improvable boundary vertices behind, which
+// TestQuickLocalOptimality caught intermittently.
+func (l *level) refine(parts []int, k, cap int) {
 	n := l.g.N()
 	load := make([]int, k)
 	count := make([]int, k)
@@ -14,7 +20,7 @@ func (l *level) refine(parts []int, k, cap, passes int) {
 		count[parts[v]]++
 	}
 	conn := make([]float64, k) // reused per-vertex connection accumulator
-	for pass := 0; pass < passes; pass++ {
+	for {
 		moved := false
 		for v := 0; v < n; v++ {
 			from := parts[v]

@@ -67,6 +67,12 @@ func NewCloudQC(cfg Config) *CloudQC {
 	return &CloudQC{cfg: cfg}
 }
 
+// DeterministicPlacement marks CloudQC (and CloudQC-BFS) as cacheable:
+// the partitioner and community detection seed their randomness per
+// call from the configured seed, so Place is a pure function of
+// (circuit, free-capacity state).
+func (p *CloudQC) DeterministicPlacement() {}
+
 // Name implements Placer.
 func (p *CloudQC) Name() string {
 	if p.cfg.UseBFS {

@@ -102,6 +102,22 @@ type Placer interface {
 	Place(cl *cloud.Cloud, c *circuit.Circuit) (*Placement, error)
 }
 
+// DeterministicPlacer marks placement algorithms whose Place is a pure
+// function of the circuit's structure and the cloud's current
+// free-capacity state: identical inputs always yield the identical
+// placement, with no state carried between calls. The controller's
+// compile-once plan cache (internal/plan) engages only for
+// deterministic placers — a hit then returns exactly what a fresh
+// Place call would have, keeping cached and uncached runs
+// bit-identical. The Random, SA, and GA baselines draw from a
+// persistent RNG across calls and must not be memoized.
+type DeterministicPlacer interface {
+	Placer
+	// DeterministicPlacement is a marker method; implementations do
+	// nothing.
+	DeterministicPlacement()
+}
+
 // ErrInfeasible is returned when the cloud lacks capacity for a circuit.
 type ErrInfeasible struct {
 	Circuit string

@@ -1,0 +1,40 @@
+package qlib
+
+import (
+	"testing"
+
+	"cloudqc/internal/circuit"
+)
+
+// TestFingerprintsDistinctAcrossLibrary is the plan cache's collision
+// sanity check: every circuit in the generator library fingerprints
+// uniquely, and rebuilding a circuit reproduces its fingerprint (so
+// cache keys are stable across jobs drawing the same template).
+func TestFingerprintsDistinctAcrossLibrary(t *testing.T) {
+	seen := map[circuit.Fingerprint]string{}
+	for _, name := range Names() {
+		c, err := Build(name)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		fp := c.Fingerprint()
+		if fp.Zero() {
+			t.Fatalf("%s has the zero fingerprint", name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision: %s and %s share %+v", prev, name, fp)
+		}
+		seen[fp] = name
+
+		again, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Fingerprint() != fp {
+			t.Fatalf("%s fingerprint not reproducible: %+v vs %+v", name, again.Fingerprint(), fp)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("library yielded only %d circuits", len(seen))
+	}
+}

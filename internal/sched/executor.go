@@ -45,29 +45,76 @@ type JobState struct {
 // NewJobState prepares execution state for a remote DAG whose EPR
 // attempts may begin at the given start time (job arrival/placement).
 func NewJobState(dag *RemoteDAG, start float64) *JobState {
+	s := &JobState{}
+	s.Reinit(dag, nil, start)
+	return s
+}
+
+// Reinit re-prepares s for a (possibly different) remote DAG starting
+// at the given time, reusing its per-node backing arrays when their
+// capacity allows — the multi-tenant controller pools retired JobStates
+// so cache-hit admissions allocate nothing per node. prio, when
+// non-nil, must be dag.Priorities() (a plan-cache copy); s aliases it
+// read-only. The result is indistinguishable from a fresh
+// NewJobState(dag, start).
+func (s *JobState) Reinit(dag *RemoteDAG, prio []int, start float64) {
 	n := dag.Len()
-	s := &JobState{
-		dag:       dag,
-		prio:      dag.Priorities(),
-		pending:   make([]int, n),
-		readyAt:   make([]float64, n),
-		hopsLeft:  make([]int, n),
-		paths:     make([][]int, n),
-		attempted: make([]bool, n),
-		finish:    make([]float64, n),
-		remaining: n,
-		start:     start,
+	if prio == nil {
+		prio = dag.Priorities()
 	}
+	s.dag = dag
+	s.prio = prio
+	s.pending = growInts(s.pending, n)
+	s.readyAt = growFloats(s.readyAt, n)
+	s.hopsLeft = growInts(s.hopsLeft, n)
+	s.paths = growPaths(s.paths, n)
+	s.attempted = growBools(s.attempted, n)
+	s.finish = growFloats(s.finish, n)
+	s.remaining = n
+	s.maxFinish = 0
+	s.start = start
+	s.runnable = s.runnable[:0]
 	for i := 0; i < n; i++ {
 		s.pending[i] = len(dag.Preds[i])
 		s.hopsLeft[i] = dag.Nodes[i].Hops()
 		s.paths[i] = dag.Nodes[i].Path
 		s.readyAt[i] = start + dag.Nodes[i].Lag
+		s.attempted[i] = false
+		s.finish[i] = 0
 		if s.pending[i] == 0 {
 			s.runnable = append(s.runnable, i)
 		}
 	}
-	return s
+}
+
+// growInts returns a length-n slice reusing buf's backing array when it
+// is large enough.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growPaths(buf [][]int, n int) [][]int {
+	if cap(buf) < n {
+		return make([][]int, n)
+	}
+	return buf[:n]
 }
 
 // Path returns node u's current entanglement path.
@@ -109,8 +156,12 @@ func (s *JobState) JCT() float64 {
 // Ready returns the node ids allowed to attempt EPR generation in the
 // round starting at time t. Completed nodes are compacted out of the
 // runnable list lazily.
-func (s *JobState) Ready(t float64) []int {
-	var ready []int
+func (s *JobState) Ready(t float64) []int { return s.AppendReady(nil, t) }
+
+// AppendReady is Ready appending into dst (usually a reused scratch
+// buffer sliced to length 0), so per-round collection on the
+// controller's hot path allocates nothing once the buffers warm up.
+func (s *JobState) AppendReady(dst []int, t float64) []int {
 	w := 0
 	for _, i := range s.runnable {
 		if s.hopsLeft[i] == 0 {
@@ -119,24 +170,29 @@ func (s *JobState) Ready(t float64) []int {
 		s.runnable[w] = i
 		w++
 		if s.readyAt[i] <= t {
-			ready = append(ready, i)
+			dst = append(dst, i)
 		}
 	}
 	s.runnable = s.runnable[:w]
-	return ready
+	return dst
 }
 
 // Requests converts ready nodes into policy requests tagged with job.
 func (s *JobState) Requests(job int, ready []int) []Request {
-	reqs := make([]Request, 0, len(ready))
+	return s.AppendRequests(make([]Request, 0, len(ready)), job, ready)
+}
+
+// AppendRequests is Requests appending into dst, the zero-alloc variant
+// for the controller's per-round collection.
+func (s *JobState) AppendRequests(dst []Request, job int, ready []int) []Request {
 	for _, u := range ready {
-		reqs = append(reqs, Request{
+		dst = append(dst, Request{
 			Key:      NodeKey{Job: job, Node: u},
 			Path:     s.paths[u],
 			Priority: s.prio[u],
 		})
 	}
-	return reqs
+	return dst
 }
 
 // Attempt runs node u's EPR round with the given pair allocation,

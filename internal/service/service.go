@@ -34,6 +34,7 @@ import (
 	"cloudqc/internal/circuit"
 	"cloudqc/internal/core"
 	"cloudqc/internal/metrics"
+	"cloudqc/internal/plan"
 	"cloudqc/internal/qasm"
 	"cloudqc/internal/qlib"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// running); submissions beyond it are rejected 429 until jobs
 	// settle. Non-positive means unlimited.
 	MaxInFlight int
+	// PlanCacheSize re-bounds the controller's compile-once plan cache:
+	// positive sets the LRU capacity, negative disables caching, zero
+	// leaves the controller's configuration untouched. Hit/miss
+	// counters surface on GET /v1/stats as "plan_cache".
+	PlanCacheSize int
 	// Now injects the wall clock; defaults to time.Now. Tests use a
 	// fake clock to drive the pacer deterministically.
 	Now func() time.Time
@@ -105,6 +111,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
+	}
+	if cfg.PlanCacheSize != 0 {
+		cfg.Controller.ConfigurePlanCache(cfg.PlanCacheSize)
 	}
 	s := &Server{
 		cfg:       cfg,
@@ -378,6 +387,10 @@ type StatsResponse struct {
 	Rejected int                 `json:"rejected"`
 	Online   metrics.OnlineStats `json:"online"`
 	SLO      SLOWire             `json:"slo"`
+	// PlanCache reports the compile-once plan cache's hit/miss/eviction
+	// counters and occupancy (all zero with "enabled": false when the
+	// controller runs uncached).
+	PlanCache plan.Stats `json:"plan_cache"`
 }
 
 // SLOWire is metrics.SLOStats with NaNs (no deadline-carrying jobs,
@@ -414,6 +427,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:   s.rejected,
 		Online:     core.OnlineStatsOf(s.settled),
 		SLO:        sloWire(metrics.AggregateSLO(core.Outcomes(s.settled))),
+		PlanCache:  s.lc.PlanCacheStats(),
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
