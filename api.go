@@ -7,6 +7,7 @@ import (
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
 	"cloudqc/internal/epr"
+	"cloudqc/internal/fed"
 	"cloudqc/internal/graph"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
@@ -232,6 +233,42 @@ func NewLiveController(cfg ClusterConfig) (*LiveController, error) {
 // http.Handler; call its Drain method on shutdown. For a standalone
 // daemon, see cmd/cloudqcd.
 func NewJobService(cfg ServiceConfig) (*JobService, error) { return service.New(cfg) }
+
+// NewFederation builds the federated controller tier: one shard
+// controller per cloud in cfg.Clouds behind a global admission router.
+// In WFQ mode all shards bill tenants into one shared virtual-clock
+// space, so weighted fairness holds federation-wide; with one cloud
+// the federation is bit-identical to NewLiveController. Pass the
+// result to NewJobService via ServiceConfig.Federation, or drive it
+// directly with Submit / StepUntil / Drain.
+func NewFederation(cfg FederationConfig) (*Federation, error) { return fed.New(cfg) }
+
+// WrapLiveController lifts an existing LiveController into a 1-shard
+// Federation (same object, federation interface) — the migration path
+// for callers moving to the federated API.
+func WrapLiveController(lc *LiveController) *Federation { return fed.Wrap(lc) }
+
+// PartitionClouds splits one topology into n connected shard clouds of
+// balanced capacity (k-way graph partition, imbalance tolerance e.g.
+// 0.1), for federations that shard a single physical cloud rather than
+// spanning n separate ones.
+func PartitionClouds(topo *Topology, n, computing, comm int, imbalance float64, seed int64) ([]*Cloud, error) {
+	return fed.PartitionClouds(topo, n, computing, comm, imbalance, seed)
+}
+
+// ParseRoutingMode maps a routing name — "affinity" or "random" (empty
+// means affinity) — to the federation admission routing.
+func ParseRoutingMode(s string) (RoutingMode, error) { return fed.ParseRouting(s) }
+
+// NewWFQClock returns a fresh shared WFQ virtual-clock space; hand it
+// to several controllers via ClusterConfig.SharedWFQ to extend
+// weighted fairness across them (a Federation does this itself).
+func NewWFQClock() *WFQClock { return core.NewWFQClock() }
+
+// ShardSeed derives the per-shard controller seed a Federation uses
+// from its base seed — exported so external shards can reproduce a
+// federation's RNG streams.
+func ShardSeed(seed int64, shard int) int64 { return fed.ShardSeed(seed, shard) }
 
 // Intensity is the batch manager's job-ordering metric (Eq. 11) with
 // equal weights.

@@ -380,6 +380,79 @@ func BenchmarkClusterOnlineWFQ(b *testing.B) {
 	b.ReportMetric(events/float64(b.N), "events/run")
 }
 
+// BenchmarkFederation times the federated controller tier end to end:
+// a 16-QPU topology partitioned into 4 shard clouds behind the global
+// admission router, an 8-tenant bursty WFQ stream (one circuit
+// template per tenant) admitted with affinity routing, the shared WFQ
+// clock billing all shards into one virtual-clock space. The summed
+// per-shard rounds/run and events/run counters are deterministic, so
+// CI gates on them alongside the ClusterOnline/LiveController family.
+func BenchmarkFederation(b *testing.B) {
+	const seed = 7
+	templates := []string{
+		"wstate_n36", "bv_n70", "cc_n64", "ising_n34",
+		"qaoa_n32", "qugan_n39", "ising_n66", "knn_n67",
+	}
+	mix := make([]TenantSpec, len(templates))
+	for t, name := range templates {
+		mix[t] = TenantSpec{
+			Tenant:           t,
+			Priority:         1,
+			Workload:         Workload{Name: name, Circuits: []string{name}},
+			Jobs:             2,
+			Process:          "bursty",
+			MeanInterarrival: 3000,
+		}
+	}
+	topo := RandomTopology(16, 0.3, 1)
+	var rounds, events float64
+	for i := 0; i < b.N; i++ {
+		jobs, err := MultiTenantJobs(mix, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clouds, err := PartitionClouds(topo, 4, 20, 5, 0.1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := DefaultPlacerConfig()
+		pcfg.Seed = seed
+		f, err := NewFederation(FederationConfig{
+			Shard: ClusterConfig{
+				Placer: NewPlacer(pcfg),
+				Mode:   WFQMode,
+				Seed:   seed,
+			},
+			Clouds:     clouds,
+			SpillDepth: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range jobs {
+			if err := f.StepUntil(j.Arrival); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := f.Drain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Failed {
+				b.Fatal("unexpected failed job")
+			}
+		}
+		rounds += float64(f.RunStats().Rounds)
+		events += float64(f.RunStats().Events)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/run")
+	b.ReportMetric(events/float64(b.N), "events/run")
+}
+
 // Allocation-policy micro-benchmarks: the per-round cost of dividing
 // the communication-qubit budget across competing gates. sortByPriority
 // used to copy the request slice every round; these benches pin the

@@ -51,6 +51,7 @@ import (
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
 	"cloudqc/internal/epr"
+	"cloudqc/internal/fed"
 	"cloudqc/internal/graph"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
@@ -166,7 +167,34 @@ type (
 	// implements http.Handler. The cloudqcd daemon is its standalone
 	// wrapper.
 	JobService = service.Server
+	// Federation is the federated controller tier: N shard controllers
+	// over N shard clouds behind one admission router, with WFQ billing
+	// into a shared virtual-clock space so weighted fairness holds
+	// federation-wide. A 1-shard Federation is bit-identical to the
+	// LiveController it wraps.
+	Federation = fed.Federation
+	// FederationConfig assembles a Federation: the per-shard
+	// ClusterConfig template, the shard clouds, routing, spill depth.
+	FederationConfig = fed.Config
+	// FederationShard is one shard of a Federation: its controller plus
+	// the load/queue-depth/plan-cache signals the router reads.
+	FederationShard = core.Shard
+	// ShardSignals is one shard's routing signal snapshot.
+	ShardSignals = core.ShardSignals
+	// RoutingMode selects the federation's admission routing (affinity
+	// or random).
+	RoutingMode = fed.Routing
+	// RouterStats are the admission router's decision counters.
+	RouterStats = fed.RouterStats
+	// WFQClock is the shared per-tenant virtual-clock space WFQ
+	// controllers bill into; hand one clock to several controllers (or
+	// let a Federation do it) to extend weighted fairness across them.
+	WFQClock = core.WFQClock
 )
+
+// ErrDrained reports an operation on a live controller or federation
+// whose Drain already ran; the HTTP service maps it to 409 Conflict.
+var ErrDrained = core.ErrDrained
 
 // Lifecycle states of a job in a LiveController / JobService.
 const (
@@ -197,4 +225,17 @@ const (
 	// served in proportion to tenant Priority via start-time fair
 	// queueing over per-tenant virtual service.
 	WFQMode = core.WFQMode
+)
+
+// Federation admission-routing modes.
+const (
+	// RouteAffinity routes each job to the shard that last served its
+	// (tenant, circuit fingerprint) pair — plan-cache locality — with
+	// load spillover; the default.
+	RouteAffinity = fed.RouteAffinity
+	// RouteRandom routes uniformly at random (seeded): the ablation arm.
+	RouteRandom = fed.RouteRandom
+	// DefaultSpillDepth is the affinity router's backlog slack when
+	// FederationConfig.SpillDepth is zero.
+	DefaultSpillDepth = fed.DefaultSpillDepth
 )

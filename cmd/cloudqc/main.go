@@ -19,6 +19,9 @@
 //	                         invocable as `cloudqc -online`
 //	slo                      tenant- and deadline-aware scheduling:
 //	                         SLO attainment, Jain fairness, JCTs vs load
+//	federation               federated controller tier: throughput, JCT
+//	                         and fairness vs shard count, with the
+//	                         affinity-vs-random routing ablation
 //	serve                    forwarding note: the HTTP daemon is the
 //	                         separate cloudqcd binary (cmd/cloudqcd)
 //
@@ -195,6 +198,9 @@ func commandTable() []command {
 		command{"slo", "experiments",
 			"tenant- and deadline-aware scheduling: attainment, fairness, JCTs vs load (-process, -jobs per tenant, -interarrivals)",
 			runSLO},
+		command{"federation", "experiments",
+			"federated controller tier: throughput/JCT/fairness vs shard count, affinity vs random routing (-jobs per tenant)",
+			runFederation},
 		command{"ablation-imbalance", "ablations", "communication cost by imbalance factor (-circuit)", func(cc *cmdContext) error {
 			s, err := exp.AblationImbalance(cc.o, cc.circuit)
 			if err != nil {
@@ -362,6 +368,24 @@ func runSLO(cc *cmdContext) error {
 	fmt.Printf("slo mode: %s arrivals, 3 tenants x %d jobs, attainment/fairness vs arrival rate and scheduler\n",
 		cc.process, cc.jobs)
 	fmt.Print(exp.RenderSLO(rows))
+	return nil
+}
+
+// runFederation renders the federated controller tier figure: the
+// 8-tenant bursty WFQ mix over one topology's capacity split across 1,
+// 2, and 4 controller shards, with the affinity-vs-random routing
+// ablation at every multi-shard count.
+func runFederation(cc *cmdContext) error {
+	if cc.jobs <= 0 {
+		return fmt.Errorf("-jobs must be positive, got %d", cc.jobs)
+	}
+	rows, err := exp.Federation(cc.o, []int{1, 2, 4}, cc.jobs, core.WFQMode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("federation: 8 tenants x %d jobs, WFQ admission, one topology split across 1/2/4 shards, affinity vs random routing\n",
+		cc.jobs)
+	fmt.Print(exp.RenderFederation(rows))
 	return nil
 }
 

@@ -19,17 +19,30 @@
 //	-mode        admission mode: batch, fifo, edf, or wfq
 //	-tenant-weighted
 //	             split each EPR round's budget across tenants by weight
+//	-shards      federation shard count (default 1): N controller
+//	             shards, each over its own copy of the cloud shape,
+//	             behind one admission router; in WFQ mode tenants are
+//	             billed into one shared virtual-clock space, and 1
+//	             behaves bit-identically to the unfederated daemon
+//	-routing     federation admission routing: affinity (plan-cache
+//	             locality with load spillover, the default) or random
+//	             (the ablation arm)
+//	-spill       affinity spillover backlog slack: spill when the
+//	             affinity shard runs at least this many jobs deeper
+//	             than the least-loaded shard (1 = spill whenever
+//	             deeper, 0 = default 4, negative disables)
 //	-timescale   virtual CX units per wall second (default 1000)
 //	-rate        per-tenant submissions/second (0 disables limiting)
 //	-burst       per-tenant burst capacity (default ceil(rate), min 1)
 //	-quota       per-tenant max in-flight jobs (0 = unlimited)
 //	-plancache   compile-once plan cache LRU capacity (0 = default 256,
 //	             negative disables caching; GET /v1/stats reports
-//	             hit/miss counters)
+//	             hit/miss counters, merged across shards)
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/stats,
-// GET /v1/cluster — see internal/service for the wire format, and the
-// README's "Running as a service" section for curl examples.
+// GET /v1/cluster — see internal/service for the wire format (stats
+// and cluster carry per-shard breakdowns), and the README's "Running
+// as a service" section for curl examples.
 package main
 
 import (
@@ -47,6 +60,7 @@ import (
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
 	"cloudqc/internal/epr"
+	"cloudqc/internal/fed"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
 	"cloudqc/internal/sched"
@@ -74,6 +88,9 @@ func build(args []string) (*service.Server, string, error) {
 		seed      = fs.Int64("seed", 1, "controller seed")
 		mode      = fs.String("mode", "fifo", "admission mode: batch, fifo, edf, or wfq")
 		weighted  = fs.Bool("tenant-weighted", false, "tenant-weighted EPR allocation policy")
+		shards    = fs.Int("shards", 1, "federation shard count (1 = single controller)")
+		routing   = fs.String("routing", "affinity", "federation routing: affinity or random")
+		spill     = fs.Int("spill", 0, "affinity spillover backlog slack (0 = default, negative disables)")
 		timescale = fs.Float64("timescale", 1000, "virtual CX units per wall second")
 		rate      = fs.Float64("rate", 0, "per-tenant submissions per second (0 = unlimited)")
 		burst     = fs.Int("burst", 0, "per-tenant burst capacity (default ceil(rate))")
@@ -87,12 +104,18 @@ func build(args []string) (*service.Server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	rt, err := fed.ParseRouting(*routing)
+	if err != nil {
+		return nil, "", err
+	}
+	if *shards < 1 {
+		return nil, "", fmt.Errorf("-shards %d: need at least 1", *shards)
+	}
 	model := epr.DefaultModel()
 	model.SuccessProb = *eprProb
 	pCfg := place.DefaultConfig()
 	pCfg.Seed = *seed
 	cfg := core.Config{
-		Cloud:  cloud.NewRandom(*qpus, *edgeProb, *computing, *comm, *seed),
 		Placer: place.NewCloudQC(pCfg),
 		Model:  model,
 		Mode:   m,
@@ -101,12 +124,24 @@ func build(args []string) (*service.Server, string, error) {
 	if *weighted {
 		cfg.Policy = sched.TenantWeightedPolicy{}
 	}
-	lc, err := core.NewLiveController(cfg)
+	// Each shard gets its own copy of the cloud shape (clouds carry
+	// mutable reservations); one shard is bit-identical to the
+	// unfederated daemon.
+	clouds := make([]*cloud.Cloud, *shards)
+	for i := range clouds {
+		clouds[i] = cloud.NewRandom(*qpus, *edgeProb, *computing, *comm, *seed)
+	}
+	f, err := fed.New(fed.Config{
+		Shard:      cfg,
+		Clouds:     clouds,
+		Routing:    rt,
+		SpillDepth: *spill,
+	})
 	if err != nil {
 		return nil, "", err
 	}
 	srv, err := service.New(service.Config{
-		Controller:    lc,
+		Federation:    f,
 		TimeScale:     *timescale,
 		Rate:          *rate,
 		Burst:         *burst,

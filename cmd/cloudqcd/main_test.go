@@ -19,6 +19,8 @@ func TestBuildBadFlags(t *testing.T) {
 		{"-epr-prob", "2"}, // ditto
 		{"-timescale", "-5"},
 		{"-unknown-flag"},
+		{"-shards", "0"},
+		{"-routing", "nope"},
 	}
 	for _, args := range cases {
 		if _, _, err := build(args); err == nil {
@@ -73,6 +75,63 @@ func TestDaemonFlagsReachService(t *testing.T) {
 	}
 	if len(cr.QPUs) != 8 {
 		t.Fatalf("cluster has %d QPUs, want 8 (flag -qpus)", len(cr.QPUs))
+	}
+}
+
+// TestDaemonShardsFlag boots a 3-shard daemon and checks the federated
+// wire views: /v1/stats names the routing and breaks stats down per
+// shard; /v1/cluster concatenates every shard's QPUs.
+func TestDaemonShardsFlag(t *testing.T) {
+	srv, _, err := build([]string{"-addr", ":0", "-qpus", "6", "-shards", "3", "-routing", "affinity", "-spill", "2", "-mode", "wfq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"tenant": 1, "circuit": "qft_n29"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats service.StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := stats.Federation
+	if fw.Shards != 3 || fw.Routing != "affinity" || len(fw.PerShard) != 3 {
+		t.Fatalf("federation view = %+v, want 3 affinity shards", fw)
+	}
+	if routed := fw.Router.AffinityHits + fw.Router.Spills + fw.Router.Cold; routed != 3 {
+		t.Fatalf("router counters %+v account for %d jobs, want 3", fw.Router, routed)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr service.ClusterResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Shards) != 3 || len(cr.QPUs) != 18 {
+		t.Fatalf("cluster has %d shards and %d QPUs, want 3 and 18 (flags -shards, -qpus)",
+			len(cr.Shards), len(cr.QPUs))
 	}
 }
 

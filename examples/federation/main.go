@@ -1,0 +1,95 @@
+// Federated multi-cloud controller: one 16-QPU topology's capacity is
+// split across 1, 2, and 4 controller shards behind the global
+// admission router, and an 8-tenant bursty WFQ stream measures what
+// sharding costs. The shared WFQ virtual-clock space keeps weighted
+// fairness federation-wide, and affinity routing keeps repeated
+// circuit templates on the shard whose plan cache already compiled
+// them.
+//
+// Run with: go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudqc"
+)
+
+func main() {
+	// One template per tenant, all of comparable gate count: Jain's
+	// index over per-tenant mean JCTs then reflects scheduling.
+	templates := []string{
+		"wstate_n36", "bv_n70", "cc_n64", "ising_n34",
+		"qaoa_n32", "qugan_n39", "ising_n66", "knn_n67",
+	}
+
+	run := func(shards int, routing cloudqc.RoutingMode) {
+		specs := make([]cloudqc.TenantSpec, len(templates))
+		for i, name := range templates {
+			specs[i] = cloudqc.TenantSpec{
+				Tenant:           i,
+				Priority:         1,
+				Workload:         cloudqc.Workload{Name: name, Circuits: []string{name}},
+				Jobs:             4,
+				Process:          "bursty",
+				MeanInterarrival: 3000,
+			}
+		}
+		jobs, err := cloudqc.MultiTenantJobs(specs, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Split the same physical topology into `shards` connected
+		// shard clouds of balanced capacity.
+		topo := cloudqc.RandomTopology(16, 0.3, 1)
+		clouds, err := cloudqc.PartitionClouds(topo, shards, 20, 5, 0.1, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := cloudqc.NewFederation(cloudqc.FederationConfig{
+			Shard:      cloudqc.ClusterConfig{Mode: cloudqc.WFQMode, Seed: 7},
+			Clouds:     clouds,
+			Routing:    routing,
+			SpillDepth: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for _, j := range jobs {
+			if err := f.StepUntil(j.Arrival); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Submit(j); err != nil {
+				log.Fatal(err)
+			}
+		}
+		results, err := f.Drain()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		slo := cloudqc.AggregateSLO(cloudqc.Outcomes(results))
+		pc := f.PlanCacheStats()
+		hitRate := 0.0
+		if pc.Hits+pc.Misses > 0 {
+			hitRate = float64(pc.Hits) / float64(pc.Hits+pc.Misses)
+		}
+		rs := f.RouterStats()
+		fmt.Printf("%d shard(s), %-8s: %2d jobs done, Jain fairness %.3f, plan-cache hit rate %.2f, router %d affine / %d spill / %d cold / %d random\n",
+			shards, routing, len(results), slo.Fairness, hitRate,
+			rs.AffinityHits, rs.Spills, rs.Cold, rs.Random)
+	}
+
+	fmt.Println("8 tenants x 4 jobs (one circuit template each), bursty arrivals, WFQ admission")
+	fmt.Println("one 16-QPU topology partitioned into 1 / 2 / 4 federation shards:")
+	fmt.Println()
+	for _, shards := range []int{1, 2, 4} {
+		run(shards, cloudqc.RouteAffinity)
+	}
+	fmt.Println()
+	fmt.Println("routing ablation at 4 shards (affinity above vs random below):")
+	run(4, cloudqc.RouteRandom)
+}

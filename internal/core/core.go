@@ -166,6 +166,15 @@ type Config struct {
 	// the CloudQC placers are); cached and uncached runs are
 	// bit-identical either way.
 	PlanCacheSize int
+	// SharedWFQ, when non-nil, makes WFQ admission bill tenants into
+	// the given shared virtual-clock space instead of a private
+	// per-controller one. The federation layer hands one clock to every
+	// shard so weighted fairness extends across shards: a tenant's
+	// placements on any shard raise its start tags on all of them. The
+	// clock is owned by the caller and never reset by the controller;
+	// a single controller over a fresh shared clock behaves identically
+	// to the private default.
+	SharedWFQ *WFQClock
 }
 
 // RunStats summarizes the control-loop work of the last Run, for
@@ -186,11 +195,11 @@ type Controller struct {
 	rng *rand.Rand
 	// intensity memoizes Eq. 11 per job ID for the batch manager's sort.
 	intensity map[int]float64
-	// service is WFQ admission's per-tenant virtual service (placed
-	// intensity / weight) and vtime the global virtual time (the start
-	// tag of the last admission); both reset per run.
-	service map[int]float64
-	vtime   float64
+	// wfq holds WFQ admission's virtual clocks — per-tenant virtual
+	// service (placed intensity / weight) behind a stable tenant→slot
+	// table, plus the global virtual time. Private clocks reset per
+	// run; a Config.SharedWFQ clock is federation-owned and persists.
+	wfq *WFQClock
 	// stats describes the last Run/RunLockStep call.
 	stats RunStats
 	// planCache memoizes compile artifacts (placement, remote DAG) per
@@ -202,24 +211,20 @@ type Controller struct {
 	statePool []*sched.JobState
 	// Admission-round scratch, reused so the admit hot path stops
 	// allocating: the arrived-jobs list, the free-capacity snapshot, and
-	// WFQ ordering's per-tenant grouping and virtual-clock copies.
+	// WFQ ordering's slot-indexed grouping and virtual-clock copies
+	// (see wfqOrder).
 	arrived     []*Job
 	freeScratch []int
-	wfqByTenant map[int][]*Job
-	wfqTenants  []int
-	wfqService  map[int]float64
-	wfqCursor   map[int]int
+	wfqGroups   [][]*Job
+	wfqRound    []int
+	wfqSvc      []float64
+	wfqCursor   []int
+	wfqCharge   []float64
 }
 
 // statePoolCap bounds the JobState pool: enough for any realistic
 // concurrent-active set without pinning unbounded per-node arrays.
 const statePoolCap = 64
-
-// wfqScratchMaxTenants bounds the WFQ scratch maps: a stream cycling
-// through ever-fresh tenant ids (cloudqcd accepts client-supplied
-// tenants) must not grow controller memory without bound, so past this
-// many distinct tenants the scratch is rebuilt empty.
-const wfqScratchMaxTenants = 256
 
 // NewController validates the configuration and applies defaults.
 func NewController(cfg Config) (*Controller, error) {
@@ -315,10 +320,18 @@ type release struct {
 // virtual clocks, the run-stats counters, and the intensity memo. Job
 // IDs are only unique within one run, so a reused Controller must not
 // bill a new stream's jobs at a previous stream's circuits'
-// intensities. It returns the cloud's total computing-qubit capacity.
+// intensities. A shared WFQ clock is federation-owned and left alone:
+// wiping it would erase the other shards' billing. It returns the
+// cloud's total computing-qubit capacity.
 func (ct *Controller) resetScheduling(jobHint int) int {
-	ct.service = make(map[int]float64)
-	ct.vtime = 0
+	switch {
+	case ct.cfg.SharedWFQ != nil:
+		ct.wfq = ct.cfg.SharedWFQ
+	case ct.wfq == nil:
+		ct.wfq = NewWFQClock()
+	default:
+		ct.wfq.Reset()
+	}
 	ct.intensity = make(map[int]float64, jobHint)
 	ct.stats = RunStats{}
 	totalComputing := 0
@@ -950,91 +963,135 @@ func deadlineOf(j *Job) float64 {
 // chargeWFQ), so jobs bounced back to waiting are never billed. With a
 // single tenant the order degenerates to ascending intensity — batch
 // order.
+//
+// Every structure here is slot-indexed through the WFQClock's stable
+// tenant→slot table: grouping, scratch clocks, and cursors are plain
+// slices reused across rounds, so a round costs zero map operations
+// and zero allocations once the scratch is warm. (Memory scales with
+// the distinct tenants the clock has seen, exactly like the clock
+// itself; a private clock resets per run.)
 func (ct *Controller) wfqOrder(arrived []*Job) {
 	if len(arrived) < 2 {
 		return
 	}
-	// The per-tenant grouping and the scratch virtual clocks live on the
-	// controller, cleared per round via the tenants list (so the round
-	// cost scales with the tenants currently queued, not every tenant
-	// ever seen) instead of reallocated: WFQ admission runs on every
-	// capacity change, and the old per-round map churn dominated its
-	// cost. An adversarial stream of ever-fresh tenant ids would still
-	// accumulate empty map entries, so past the bound the scratch is
-	// rebuilt from scratch.
-	if ct.wfqByTenant == nil || len(ct.wfqByTenant) > wfqScratchMaxTenants {
-		ct.wfqByTenant = make(map[int][]*Job)
-		ct.wfqService = make(map[int]float64)
-		ct.wfqCursor = make(map[int]int)
+	w := ct.wfq
+	groups := ct.wfqGroups
+	round := ct.wfqRound[:0]
+	for _, j := range arrived {
+		s := w.slot(j.Tenant)
+		for len(groups) <= s {
+			groups = append(groups, nil)
+		}
+		if len(groups[s]) == 0 {
+			round = append(round, s)
+		}
+		groups[s] = append(groups[s], j)
 	}
-	byTenant := ct.wfqByTenant
-	tenants := ct.wfqTenants[:0]
+	ct.wfqGroups = groups
 	defer func() {
 		// Release the grouped job pointers (the [:0] reslice alone would
 		// keep them reachable through the backing arrays) and leave every
-		// touched entry empty for the next round's len==0 "new tenant"
-		// test.
-		for _, tn := range tenants {
-			g := byTenant[tn]
+		// touched group empty for the next round's len==0 "new slot" test.
+		for _, s := range round {
+			g := groups[s]
 			for i := range g {
 				g[i] = nil
 			}
-			byTenant[tn] = g[:0]
+			groups[s] = g[:0]
 		}
-		ct.wfqTenants = tenants[:0]
+		ct.wfqRound = round[:0]
 	}()
-	for _, j := range arrived {
-		g := byTenant[j.Tenant]
-		if len(g) == 0 {
-			tenants = append(tenants, j.Tenant)
+	// Slots are allocated in first-seen order, not tenant order; sort
+	// this round's slots by tenant id so admission ties keep breaking to
+	// the smaller tenant id, exactly as the ordering always has. Both
+	// sorts are allocation-free insertion sorts: sort.Slice's reflection
+	// closures were the last per-round allocations, round slices are
+	// small (tenants queued now, one tenant's jobs), and insertion sort
+	// is stable so the order matches sort.SliceStable's exactly.
+	for i := 1; i < len(round); i++ {
+		s := round[i]
+		k := i
+		for k > 0 && w.ids[round[k-1]] > w.ids[s] {
+			round[k] = round[k-1]
+			k--
 		}
-		byTenant[j.Tenant] = append(g, j)
+		round[k] = s
 	}
-	sort.Ints(tenants)
-	for _, tn := range tenants {
-		g := byTenant[tn]
-		sort.SliceStable(g, func(i, k int) bool {
-			ii, ik := ct.intensity[g[i].ID], ct.intensity[g[k].ID]
-			if ii != ik {
-				return ii < ik
+	for _, s := range round {
+		g := groups[s]
+		for i := 1; i < len(g); i++ {
+			j := g[i]
+			k := i
+			for k > 0 && ct.wfqJobLess(j, g[k-1]) {
+				g[k] = g[k-1]
+				k--
 			}
-			if g[i].Arrival != g[k].Arrival {
-				return g[i].Arrival < g[k].Arrival
-			}
-			return g[i].ID < g[k].ID
-		})
+			g[k] = j
+		}
 	}
-	// Stale keys from earlier rounds may linger in the scratch maps;
-	// only the current tenants' entries are (re)initialized and read.
-	service, cursor := ct.wfqService, ct.wfqCursor
-	for _, tn := range tenants {
-		service[tn] = ct.service[tn]
-		cursor[tn] = 0
+	// Scratch clocks sized to the slot table; only this round's slots
+	// are (re)initialized and read. charge caches each slot's head-job
+	// cost (intensity/weight), refreshed as cursors advance, so the
+	// O(picks × slots) selection loop below probes plain float slices
+	// instead of hashing the intensity map per probe.
+	svc, cursor, charge := ct.wfqSvc, ct.wfqCursor, ct.wfqCharge
+	for len(svc) < len(w.service) {
+		svc = append(svc, 0)
 	}
-	vtime := ct.vtime
+	for len(cursor) < len(w.service) {
+		cursor = append(cursor, 0)
+	}
+	for len(charge) < len(w.service) {
+		charge = append(charge, 0)
+	}
+	ct.wfqSvc, ct.wfqCursor, ct.wfqCharge = svc, cursor, charge
+	for _, s := range round {
+		svc[s] = w.service[s]
+		cursor[s] = 0
+		h := groups[s][0]
+		charge[s] = ct.intensity[h.ID] / h.weight()
+	}
+	vtime := w.vtime
 	for i := range arrived {
 		best := -1
 		var bestStart, bestFinish float64
-		for _, tn := range tenants {
-			if cursor[tn] >= len(byTenant[tn]) {
+		for _, s := range round {
+			if cursor[s] >= len(groups[s]) {
 				continue
 			}
-			j := byTenant[tn][cursor[tn]]
-			start := service[tn]
+			start := svc[s]
 			if start < vtime {
 				start = vtime
 			}
-			finish := start + ct.intensity[j.ID]/j.weight()
+			finish := start + charge[s]
 			if best < 0 || start < bestStart || (start == bestStart && finish < bestFinish) {
-				best, bestStart, bestFinish = tn, start, finish
+				best, bestStart, bestFinish = s, start, finish
 			}
 		}
-		j := byTenant[best][cursor[best]]
+		j := groups[best][cursor[best]]
 		cursor[best]++
+		if cursor[best] < len(groups[best]) {
+			h := groups[best][cursor[best]]
+			charge[best] = ct.intensity[h.ID] / h.weight()
+		}
 		arrived[i] = j
-		service[best] = bestFinish
+		svc[best] = bestFinish
 		vtime = bestStart
 	}
+}
+
+// wfqJobLess orders one tenant's queued jobs: ascending intensity,
+// then arrival, then ID — the per-tenant queue order start-time fair
+// queueing consumes.
+func (ct *Controller) wfqJobLess(a, b *Job) bool {
+	ia, ib := ct.intensity[a.ID], ct.intensity[b.ID]
+	if ia != ib {
+		return ia < ib
+	}
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
 }
 
 // chargeWFQ bills a successfully placed job to its tenant's virtual
@@ -1043,12 +1100,14 @@ func (ct *Controller) wfqOrder(arrived []*Job) {
 // tenant that submitted nothing for a while competes from the current
 // virtual time, not from its stale low service.
 func (ct *Controller) chargeWFQ(j *Job) {
-	start := ct.service[j.Tenant]
-	if start < ct.vtime {
-		start = ct.vtime
+	w := ct.wfq
+	s := w.slot(j.Tenant)
+	start := w.service[s]
+	if start < w.vtime {
+		start = w.vtime
 	}
-	ct.service[j.Tenant] = start + ct.intensity[j.ID]/j.weight()
-	ct.vtime = start
+	w.service[s] = start + ct.intensity[j.ID]/j.weight()
+	w.vtime = start
 }
 
 // collectRequests gathers one round's policy requests across the active

@@ -9,6 +9,12 @@ import (
 	"cloudqc/internal/plan"
 )
 
+// ErrDrained is returned by Submit, StepUntil, and Drain once a live
+// controller has been drained and retired. The service layer maps it
+// to 409 Conflict; callers can test for it with errors.Is even through
+// the federation layer's wrapping.
+var ErrDrained = errors.New("core: live controller already drained")
+
 // JobStatus is a submitted job's lifecycle state in a LiveController.
 type JobStatus int
 
@@ -134,7 +140,7 @@ func (lc *LiveController) Now() float64 { return lc.st.eng.Now() }
 // indistinguishable from one queued up front with Arrival t.
 func (lc *LiveController) Submit(j *Job) error {
 	if lc.drained {
-		return errors.New("core: live controller already drained")
+		return ErrDrained
 	}
 	if lc.st.err != nil {
 		return lc.st.err
@@ -179,7 +185,7 @@ func (lc *LiveController) begin(target float64) {
 // due events. Returns the first execution error, which is sticky.
 func (lc *LiveController) StepUntil(t float64) error {
 	if lc.drained {
-		return errors.New("core: live controller already drained")
+		return ErrDrained
 	}
 	if lc.st.err != nil {
 		return lc.st.err
@@ -198,7 +204,7 @@ func (lc *LiveController) StepUntil(t float64) error {
 // Results are returned in submission order.
 func (lc *LiveController) Drain() ([]*JobResult, error) {
 	if lc.drained {
-		return nil, errors.New("core: live controller already drained")
+		return nil, ErrDrained
 	}
 	lc.begin(math.Inf(1))
 	// No more submissions are coming: stop waking at trailing releases
@@ -358,6 +364,11 @@ func (lc *LiveController) QPULoads() []QPULoad {
 // EPRAttempt returns the model's EPR-attempt round length in CX units —
 // the granularity the service's virtual-time pacer maps wall time onto.
 func (lc *LiveController) EPRAttempt() float64 { return lc.ct.cfg.Model.EPRAttempt }
+
+// TotalComputing returns the cloud's total computing-qubit capacity —
+// the ceiling a federation router checks before offering a shard a
+// circuit it could never fit.
+func (lc *LiveController) TotalComputing() int { return lc.st.totalComputing }
 
 // OnlineStatsOf aggregates a result set's completed-job JCTs and waits,
 // failed count, and last-completion makespan into OnlineStats — the

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudqc/internal/plan"
+)
+
+// Shard wraps one LiveController as a self-contained unit of a
+// federation: its own cloud, its own RNG stream, its own plan cache —
+// no state shared with any other shard except an optional
+// Config.SharedWFQ clock — tagged with its federation index and
+// exposing the load signals the admission router reads.
+type Shard struct {
+	index int
+	lc    *LiveController
+}
+
+// NewShard builds shard index over its own controller configuration
+// (see NewLiveController for validation and defaults).
+func NewShard(index int, cfg Config) (*Shard, error) {
+	lc, err := NewLiveController(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard %d: %w", index, err)
+	}
+	return &Shard{index: index, lc: lc}, nil
+}
+
+// WrapShard adopts an existing live controller as shard index — how
+// the service layer lifts a single-controller configuration into a
+// 1-shard federation without disturbing the controller's state.
+func WrapShard(index int, lc *LiveController) *Shard {
+	return &Shard{index: index, lc: lc}
+}
+
+// Index returns the shard's position in its federation.
+func (s *Shard) Index() int { return s.index }
+
+// Controller returns the wrapped live controller.
+func (s *Shard) Controller() *LiveController { return s.lc }
+
+// ShardSignals is a shard's router-facing load summary at one instant.
+type ShardSignals struct {
+	// Pending, Queued, and Active count unsettled jobs by lifecycle
+	// stage; Depth is their sum — the backlog figure the federation's
+	// spillover rule compares across shards.
+	Pending, Queued, Active, Depth int
+	// Utilization is the reserved fraction of the shard cloud's
+	// computing qubits (matured trailing releases discounted).
+	Utilization float64
+	// TotalComputing is the shard cloud's computing-qubit capacity; the
+	// router skips shards that can never fit a circuit.
+	TotalComputing int
+	// PlanCache is the shard's compile-cache counters — affinity
+	// routing's payoff is visible as this hit rate.
+	PlanCache plan.Stats
+}
+
+// Signals reports the shard's current load signals.
+func (s *Shard) Signals() ShardSignals {
+	snap := s.lc.Snapshot()
+	return ShardSignals{
+		Pending:        snap.Pending,
+		Queued:         snap.Queued,
+		Active:         snap.Active,
+		Depth:          snap.Pending + snap.Queued + snap.Active,
+		Utilization:    snap.Utilization,
+		TotalComputing: s.lc.TotalComputing(),
+		PlanCache:      s.lc.PlanCacheStats(),
+	}
+}

@@ -212,8 +212,7 @@ func TestWFQOrderInterleavesTenantsByWeight(t *testing.T) {
 		}
 	}
 	ct := equivConfig(t, 1, WFQMode, 20)
-	ct.service = map[int]float64{}
-	ct.vtime = 0
+	ct.wfq = NewWFQClock()
 	ct.orderArrived(arrived)
 
 	lastSeen := map[int]int{}

@@ -1,0 +1,75 @@
+package core
+
+// WFQClock is weighted-fair-queueing admission's virtual-clock space:
+// per-tenant virtual service behind a stable tenant→slot table, plus
+// the global virtual time. Slots are allocated on first sight and never
+// move, so the charge and ordering hot paths index plain slices instead
+// of hashing maps (see wfqOrder).
+//
+// A Controller owns a private clock by default, reset per run. Handing
+// one clock to several controllers via Config.SharedWFQ extends
+// weighted fairness across them: every shard bills tenants into the
+// same clocks, so a tenant's placements anywhere raise its start tags
+// everywhere — the federation layer's cross-shard WFQ. With a single
+// controller over a fresh shared clock the admission order is
+// bit-identical to the private default.
+//
+// A WFQClock is not safe for concurrent use; callers serialize access
+// (a federation steps its shards sequentially).
+type WFQClock struct {
+	// slots maps a tenant id to its slot; ids is the inverse.
+	slots map[int]int
+	ids   []int
+	// service is each slot's virtual service: placed intensity divided
+	// by tenant weight, accumulated on successful placement only.
+	service []float64
+	// vtime is the global virtual time — the start tag of the last
+	// admission, which denies idle tenants credit for idle spans.
+	vtime float64
+}
+
+// NewWFQClock returns an empty clock: no tenants, virtual time 0.
+func NewWFQClock() *WFQClock {
+	return &WFQClock{slots: make(map[int]int)}
+}
+
+// slot returns the tenant's stable slot, allocating one on first sight
+// with zero virtual service.
+func (w *WFQClock) slot(tenant int) int {
+	if s, ok := w.slots[tenant]; ok {
+		return s
+	}
+	s := len(w.ids)
+	w.slots[tenant] = s
+	w.ids = append(w.ids, tenant)
+	w.service = append(w.service, 0)
+	return s
+}
+
+// Reset zeroes every tenant's virtual service and the virtual time,
+// keeping the tenant→slot table (slots stay stable across runs so
+// controller scratch sized to the table remains valid).
+func (w *WFQClock) Reset() {
+	for i := range w.service {
+		w.service[i] = 0
+	}
+	w.vtime = 0
+}
+
+// Service returns a tenant's accumulated virtual service (0 for
+// tenants the clock has never seen).
+func (w *WFQClock) Service(tenant int) float64 {
+	if s, ok := w.slots[tenant]; ok {
+		return w.service[s]
+	}
+	return 0
+}
+
+// VTime returns the global virtual time.
+func (w *WFQClock) VTime() float64 { return w.vtime }
+
+// Tenants returns the tenant ids the clock has seen, in slot order
+// (first-seen order).
+func (w *WFQClock) Tenants() []int {
+	return append([]int(nil), w.ids...)
+}

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/fed"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+// FederationRow is one (shard count × routing) cell of the federation
+// figure: the same 8-tenant bursty stream over the same total QPU
+// capacity, split across more controller shards.
+type FederationRow struct {
+	Shards  int
+	Routing string
+	Stats   metrics.OnlineStats
+	// Fairness is Jain's index over per-tenant mean JCTs — the
+	// cross-shard WFQ guarantee says sharding must not erode it.
+	Fairness float64
+	// HitRate is the federated plan-cache hit rate (hits over
+	// hits+misses, merged across shards) — affinity routing's payoff.
+	HitRate float64
+	// Router carries the admission router's decision counters.
+	Router fed.RouterStats
+}
+
+// federationCell is one (shard count, routing) arm of the sweep.
+type federationCell struct {
+	shards  int
+	routing fed.Routing
+}
+
+// federationRep is one cell × rep task's raw outcome.
+type federationRep struct {
+	outcomes []metrics.JobOutcome
+	jcts     []float64
+	waits    []float64
+	failed   int
+	makespan float64
+	cache    float64 // hits
+	misses   float64
+	router   fed.RouterStats
+}
+
+// Federation evaluates the federated controller tier: one topology's
+// total capacity is split across 1, 2, 4, ... controller shards (via
+// the k-way partitioner) behind the global admission router, and an
+// 8-tenant bursty WFQ stream measures what sharding costs. Shard
+// counts above 1 run both routing arms — affinity (plan-cache
+// locality, spill depth 1) and random (the ablation) — over identical
+// job streams, so their hit-rate difference isolates the router.
+//
+// Two paper-style claims are visible in the figure: cross-shard WFQ
+// holds Jain fairness at the single-cloud baseline (the shared
+// virtual-clock space bills tenants federation-wide), and affinity
+// routing beats random routing on federated plan-cache hit rate.
+func Federation(o Options, shardCounts []int, jobsPerTenant int, mode core.Mode) ([]FederationRow, error) {
+	o = o.withDefaults()
+	if mode == 0 {
+		mode = core.WFQMode
+	}
+	if jobsPerTenant == 0 {
+		jobsPerTenant = 5
+	}
+	if jobsPerTenant < 0 {
+		return nil, fmt.Errorf("exp: negative federation jobs per tenant %d", jobsPerTenant)
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	sorted := append([]int(nil), shardCounts...)
+	sort.Ints(sorted)
+	var cells []federationCell
+	for _, n := range sorted {
+		if n < 1 {
+			return nil, fmt.Errorf("exp: federation shard count %d < 1", n)
+		}
+		cells = append(cells, federationCell{shards: n, routing: fed.RouteAffinity})
+		if n > 1 {
+			cells = append(cells, federationCell{shards: n, routing: fed.RouteRandom})
+		}
+	}
+
+	topo := graph.Random(o.QPUs, o.EdgeProb, o.Seed)
+	reps, err := runIndexed(o.workers(), len(cells)*o.Reps, func(i int) (federationRep, error) {
+		cell, rep := cells[i/o.Reps], i%o.Reps
+		// Every cell is compared against every other (shard counts
+		// against the 1-shard baseline, routing arms against each
+		// other), so all cells of a rep share one stream: point 0.
+		seed := taskSeed(o.Seed, 0, rep)
+		jobs, err := federationStream(jobsPerTenant, seed)
+		if err != nil {
+			return federationRep{}, err
+		}
+		clouds, err := fed.PartitionClouds(topo, cell.shards, o.Computing, o.Comm, 0.1, o.Seed)
+		if err != nil {
+			return federationRep{}, err
+		}
+		pCfg := place.DefaultConfig()
+		pCfg.Seed = seed
+		f, err := fed.New(fed.Config{
+			Shard: core.Config{
+				Placer: place.NewCloudQC(pCfg),
+				Model:  o.model(),
+				Mode:   mode,
+				Seed:   seed,
+			},
+			Clouds:  clouds,
+			Routing: cell.routing,
+			// Spill depth 1: yield plan-cache locality to load early,
+			// the fairness-leaning setting for bursty tenant mixes.
+			SpillDepth: 1,
+		})
+		if err != nil {
+			return federationRep{}, err
+		}
+		for _, j := range jobs {
+			if err := f.StepUntil(j.Arrival); err != nil {
+				return federationRep{}, err
+			}
+			if err := f.Submit(j); err != nil {
+				return federationRep{}, err
+			}
+		}
+		results, err := f.Drain()
+		if err != nil {
+			return federationRep{}, fmt.Errorf("federation %d shards %s rep %d: %w",
+				cell.shards, cell.routing, rep, err)
+		}
+		var r federationRep
+		r.outcomes = core.Outcomes(results)
+		for _, res := range results {
+			if res.Failed {
+				r.failed++
+				continue
+			}
+			r.jcts = append(r.jcts, res.JCT)
+			r.waits = append(r.waits, res.WaitTime)
+			if res.Finished > r.makespan {
+				r.makespan = res.Finished
+			}
+		}
+		pc := f.PlanCacheStats()
+		r.cache = float64(pc.Hits)
+		r.misses = float64(pc.Misses)
+		r.router = f.RouterStats()
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]FederationRow, 0, len(cells))
+	for ci, cell := range cells {
+		var jcts, waits []float64
+		var outcomes []metrics.JobOutcome
+		failed := 0
+		var makespan, hits, misses float64
+		var router fed.RouterStats
+		for rep := 0; rep < o.Reps; rep++ {
+			r := reps[ci*o.Reps+rep]
+			jcts = append(jcts, r.jcts...)
+			waits = append(waits, r.waits...)
+			outcomes = append(outcomes, r.outcomes...)
+			failed += r.failed
+			makespan += r.makespan
+			hits += r.cache
+			misses += r.misses
+			router.AffinityHits += r.router.AffinityHits
+			router.Spills += r.router.Spills
+			router.Cold += r.router.Cold
+			router.Random += r.router.Random
+		}
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = hits / (hits + misses)
+		}
+		rows = append(rows, FederationRow{
+			Shards:   cell.shards,
+			Routing:  cell.routing.String(),
+			Stats:    metrics.AggregateOnline(jcts, waits, failed, makespan),
+			Fairness: metrics.AggregateSLO(outcomes).Fairness,
+			HitRate:  hitRate,
+			Router:   router,
+		})
+	}
+	return rows, nil
+}
+
+// federationStream builds the figure's 8-tenant bursty mix: each
+// tenant repeatedly submits its own template (distinct fingerprints,
+// so affinity routing has locality to protect and random routing
+// recompiles each template on every shard it scatters to). Templates
+// are chosen with comparable gate counts — Jain's index over
+// per-tenant mean JCTs should reflect scheduling, not circuit-cost
+// luck — and all fit a quarter of the default topology's capacity.
+func federationStream(jobsPerTenant int, seed int64) ([]*core.Job, error) {
+	templates := []string{
+		"wstate_n36", "bv_n70", "cc_n64", "ising_n34",
+		"qaoa_n32", "qugan_n39", "ising_n66", "knn_n67",
+	}
+	mix := make([]workload.TenantSpec, len(templates))
+	for i, name := range templates {
+		mix[i] = workload.TenantSpec{
+			Tenant:           i,
+			Priority:         1,
+			Workload:         workload.Workload{Name: name, Circuits: []string{name}},
+			Jobs:             jobsPerTenant,
+			Process:          "bursty",
+			MeanInterarrival: 3000,
+			MinSlack:         workload.DefaultMinSlack,
+			MaxSlack:         workload.DefaultMaxSlack,
+		}
+	}
+	return workload.MultiTenant(mix, seed)
+}
+
+// RenderFederation renders federation rows: scaling, fairness, and the
+// routing ablation in one table.
+func RenderFederation(rows []FederationRow) string {
+	headers := []string{"Shards", "Routing", "Done", "Fail", "Jobs/kCX",
+		"MeanJCT", "P99JCT", "Jain", "CacheHit", "Affine", "Spill", "Cold", "Rand"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Shards),
+			r.Routing,
+			fmt.Sprintf("%d", r.Stats.Completed),
+			fmt.Sprintf("%d", r.Stats.Failed),
+			fmt.Sprintf("%.2f", r.Stats.Throughput),
+			stats.F(r.Stats.MeanJCT),
+			stats.F(r.Stats.P99JCT),
+			fmt.Sprintf("%.3f", r.Fairness),
+			fmt.Sprintf("%.2f", r.HitRate),
+			fmt.Sprintf("%d", r.Router.AffinityHits),
+			fmt.Sprintf("%d", r.Router.Spills),
+			fmt.Sprintf("%d", r.Router.Cold),
+			fmt.Sprintf("%d", r.Router.Random),
+		})
+	}
+	return stats.Table(headers, out)
+}

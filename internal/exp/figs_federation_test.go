@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cloudqc/internal/core"
+)
+
+// TestFederationFigure locks the figure's two acceptance claims on the
+// 4-shard / 8-tenant bursty mix: cross-shard WFQ keeps Jain fairness
+// within 5% of the single-cloud baseline, and affinity routing beats
+// the random-routing ablation on federated plan-cache hit rate.
+func TestFederationFigure(t *testing.T) {
+	o := Options{Seed: 11, Reps: 3}
+	rows, err := Federation(o, []int{1, 4}, 4, core.WFQMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (1-affinity, 4-affinity, 4-random)", len(rows))
+	}
+	byCell := map[string]FederationRow{}
+	for _, r := range rows {
+		byCell[r.Routing+string(rune('0'+r.Shards))] = r
+	}
+	base, ok1 := byCell["affinity1"]
+	aff, ok2 := byCell["affinity4"]
+	rnd, ok3 := byCell["random4"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing cells in %+v", rows)
+	}
+
+	if base.Stats.Failed != 0 || aff.Stats.Failed != 0 {
+		t.Fatalf("failures under affinity routing: base %d, 4-shard %d",
+			base.Stats.Failed, aff.Stats.Failed)
+	}
+	if base.Fairness <= 0 || base.Fairness > 1 {
+		t.Fatalf("baseline Jain %v out of range", base.Fairness)
+	}
+	// Cross-shard WFQ guarantee: sharding must not erode fairness by
+	// more than 5% of the single-cloud WFQ baseline.
+	if drop := (base.Fairness - aff.Fairness) / base.Fairness; drop > 0.05 {
+		t.Fatalf("4-shard Jain %v vs baseline %v: dropped %.1f%% (> 5%%)",
+			aff.Fairness, base.Fairness, drop*100)
+	}
+	// Ablation: affinity routing's plan-cache locality must show up in
+	// the federated hit rate.
+	if aff.HitRate <= rnd.HitRate {
+		t.Fatalf("affinity hit rate %v not above random %v", aff.HitRate, rnd.HitRate)
+	}
+	// The routing arms draw from disjoint counter sets.
+	if aff.Router.Random != 0 || rnd.Router.AffinityHits+rnd.Router.Spills+rnd.Router.Cold != 0 {
+		t.Fatalf("router counters crossed arms: affinity %+v, random %+v", aff.Router, rnd.Router)
+	}
+
+	out := RenderFederation(rows)
+	for _, want := range []string{"Shards", "Jain", "CacheHit", "affinity", "random"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFederationFigureDeterministic: the figure is bit-identical at
+// any worker count.
+func TestFederationFigureDeterministic(t *testing.T) {
+	run := func(workers int) []FederationRow {
+		rows, err := Federation(Options{Seed: 3, Reps: 2, Workers: workers}, []int{1, 2}, 3, core.WFQMode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(1), run(4)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ra, rb := a[i], b[i]
+		if ra.Shards != rb.Shards || ra.Routing != rb.Routing || ra.Router != rb.Router ||
+			ra.Stats != rb.Stats || ra.HitRate != rb.HitRate ||
+			!(ra.Fairness == rb.Fairness || (math.IsNaN(ra.Fairness) && math.IsNaN(rb.Fairness))) {
+			t.Fatalf("row %d differs across worker counts:\n%+v\n%+v", i, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package fed is CloudQC's federated multi-cloud controller tier: a
+// Federation owns N controller shards — each a self-contained
+// core.Shard over its own cloud (a separate provider region, or a
+// partition of one topology via PartitionClouds) — behind a global
+// admission router.
+//
+// The router places each job by tenant+fingerprint affinity: repeated
+// templates from one tenant land on the shard whose plan cache already
+// holds their compile artifacts, turning cold placements into ~µs
+// cache hits, with load-based spillover to the least-loaded shard when
+// the affinity shard's backlog runs too deep (see router.go). Weighted
+// fairness extends across shards by handing every shard the same
+// core.WFQClock: a tenant's placements anywhere raise its WFQ start
+// tags everywhere, so cross-shard weighted shares hold federation-wide.
+//
+// The differential guarantee mirrors the repo's discipline: a 1-shard
+// Federation is bit-identical to a bare LiveController — same per-job
+// results, same round/event counts, same recorder series — because a
+// single shard keeps the base seed, a fresh WFQ clock, and a router
+// that degenerates to the identity (see TestFederationSingleShardMatchesLive).
+//
+// A Federation is not safe for concurrent use; the service layer
+// serializes access, exactly as it does for a lone LiveController.
+package fed
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/plan"
+)
+
+// Config assembles a Federation.
+type Config struct {
+	// Shard is the per-shard controller template: mode, policy, model,
+	// weights, plan-cache size, and the base seed. Its Cloud, Recorder,
+	// and SharedWFQ fields must be nil — clouds and recorders are
+	// per-shard (below), and the federation owns the shared WFQ clock.
+	Shard core.Config
+	// Clouds are the shard clouds, one per shard (a cloud.Cloud carries
+	// mutable reservations, so shards can never share one instance).
+	// len(Clouds) is the shard count.
+	Clouds []*cloud.Cloud
+	// Recorders, when non-nil, gives shard i the recorder Recorders[i];
+	// its length must equal len(Clouds). Entries may be nil.
+	Recorders []*metrics.Recorder
+	// NewPlacer, when non-nil, builds shard i's placer; otherwise every
+	// shard shares Shard.Placer (fine for the deterministic CloudQC
+	// placers, which are stateless — stateful placers like simulated
+	// annealing need a factory so shards stay isolated).
+	NewPlacer func(shard int) place.Placer
+	// Routing selects the admission router (default RouteAffinity; see
+	// router.go). RouteRandom is the ablation arm.
+	Routing Routing
+	// SpillDepth is the backlog slack the affinity router tolerates
+	// before spilling to the least-loaded shard: spill when the
+	// affinity shard's depth exceeds the least-loaded depth by
+	// SpillDepth or more. 1 keeps affinity only between equally-loaded
+	// shards (the fairness-leaning setting); 0 means DefaultSpillDepth;
+	// negative disables spillover entirely.
+	SpillDepth int
+}
+
+// DefaultSpillDepth is the affinity router's backlog-slack default: an
+// affinity shard may run up to this many jobs minus one deeper than
+// the least-loaded shard before the router gives up plan-cache
+// locality for load.
+const DefaultSpillDepth = 4
+
+// Federation owns N controller shards behind one admission router and
+// aggregates their results, statistics, and plan-cache counters.
+type Federation struct {
+	shards []*core.Shard
+	wfq    *core.WFQClock
+	router *router
+	// jobs preserves global submission order for Results; shardOf maps
+	// every accepted job ID to its shard.
+	jobs    []*core.Job
+	shardOf map[int]int
+	// seq is the per-shard auto-ID counter: auto-assigned IDs are
+	// shard-tagged (id = seq*N + shard) so every shard owns a disjoint
+	// ID space and id mod N recovers the shard.
+	seq     []int
+	drained bool
+	// epr is the shared model's round length (validated identical
+	// across shards by construction — one template).
+	epr float64
+}
+
+// New validates the configuration and builds the federation: shard i
+// runs the template configuration over Clouds[i] with seed
+// ShardSeed(template.Seed, i) — shard 0 keeps the base seed, so a
+// 1-shard federation is bit-identical to a bare controller — and, in
+// WFQ mode, bills tenants into one shared virtual-clock space.
+func New(cfg Config) (*Federation, error) {
+	n := len(cfg.Clouds)
+	if n == 0 {
+		return nil, errors.New("fed: Config.Clouds is empty")
+	}
+	if cfg.Shard.Cloud != nil {
+		return nil, errors.New("fed: Config.Shard.Cloud must be nil (clouds are per-shard)")
+	}
+	if cfg.Shard.Recorder != nil {
+		return nil, errors.New("fed: Config.Shard.Recorder must be nil (use Config.Recorders)")
+	}
+	if cfg.Shard.SharedWFQ != nil {
+		return nil, errors.New("fed: Config.Shard.SharedWFQ must be nil (the federation owns the shared clock)")
+	}
+	if cfg.Recorders != nil && len(cfg.Recorders) != n {
+		return nil, fmt.Errorf("fed: %d recorders for %d shards", len(cfg.Recorders), n)
+	}
+	f := &Federation{
+		wfq:     core.NewWFQClock(),
+		shardOf: make(map[int]int),
+		seq:     make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		if cfg.Clouds[i] == nil {
+			return nil, fmt.Errorf("fed: Clouds[%d] is nil", i)
+		}
+		scfg := cfg.Shard
+		scfg.Cloud = cfg.Clouds[i]
+		scfg.Seed = ShardSeed(cfg.Shard.Seed, i)
+		scfg.SharedWFQ = f.wfq
+		if cfg.Recorders != nil {
+			scfg.Recorder = cfg.Recorders[i]
+		}
+		if cfg.NewPlacer != nil {
+			scfg.Placer = cfg.NewPlacer(i)
+		}
+		sh, err := core.NewShard(i, scfg)
+		if err != nil {
+			return nil, err
+		}
+		f.shards = append(f.shards, sh)
+	}
+	f.epr = f.shards[0].Controller().EPRAttempt()
+	r, err := newRouter(f.shards, cfg.Routing, cfg.SpillDepth, cfg.Shard.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f.router = r
+	return f, nil
+}
+
+// Wrap adopts an existing live controller as a 1-shard federation
+// without disturbing its state — how the service layer lifts a
+// single-controller configuration into the federated backend. The
+// controller keeps its own (private) WFQ clock.
+func Wrap(lc *core.LiveController) *Federation {
+	shards := []*core.Shard{core.WrapShard(0, lc)}
+	r, _ := newRouter(shards, RouteAffinity, 0, 0)
+	return &Federation{
+		shards:  shards,
+		router:  r,
+		shardOf: make(map[int]int),
+		seq:     make([]int, 1),
+		epr:     lc.EPRAttempt(),
+	}
+}
+
+// ShardSeed derives shard i's RNG seed from the federation's base seed
+// with the SplitMix64-style finalizer the repo's deterministic
+// parallelism uses throughout (exp task seeds, workload tenant seeds).
+// Shard 0 keeps the base seed so a 1-shard federation reproduces a
+// bare controller bit-identically.
+func ShardSeed(seed int64, shard int) int64 {
+	if shard == 0 {
+		return seed
+	}
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// NumShards returns the shard count.
+func (f *Federation) NumShards() int { return len(f.shards) }
+
+// Shard returns shard i.
+func (f *Federation) Shard(i int) *core.Shard { return f.shards[i] }
+
+// Now returns the federation's virtual time: the furthest shard clock
+// (shards advance in lockstep through StepUntil, so they differ only
+// in how far each one's last event landed before the common target).
+func (f *Federation) Now() float64 {
+	now := f.shards[0].Controller().Now()
+	for _, s := range f.shards[1:] {
+		if t := s.Controller().Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// EPRAttempt returns the shared model's EPR-attempt round length in CX
+// units (the service pacer's granularity).
+func (f *Federation) EPRAttempt() float64 { return f.epr }
+
+// Submit routes the job to a shard and injects it there. A negative
+// Job.ID asks the federation to assign one: auto IDs are shard-tagged
+// (id ≡ shard mod N) so every shard owns a disjoint ID space.
+// Non-negative IDs are the caller's and are checked for federation-wide
+// uniqueness. Returns core.ErrDrained (wrapped) after Drain.
+func (f *Federation) Submit(j *core.Job) error {
+	if f.drained {
+		return fmt.Errorf("fed: %w", core.ErrDrained)
+	}
+	if j.Circuit == nil {
+		return fmt.Errorf("fed: job %d has no circuit", j.ID)
+	}
+	if j.ID >= 0 {
+		if _, dup := f.shardOf[j.ID]; dup {
+			return fmt.Errorf("fed: duplicate job ID %d", j.ID)
+		}
+	}
+	s := f.router.route(j)
+	if j.ID < 0 {
+		j.ID = f.nextID(s)
+	}
+	if err := f.shards[s].Controller().Submit(j); err != nil {
+		return fmt.Errorf("fed: shard %d: %w", s, err)
+	}
+	f.jobs = append(f.jobs, j)
+	f.shardOf[j.ID] = s
+	return nil
+}
+
+// nextID returns the shard's next free shard-tagged ID, skipping any
+// the caller already claimed explicitly.
+func (f *Federation) nextID(shard int) int {
+	n := len(f.shards)
+	for {
+		id := f.seq[shard]*n + shard
+		f.seq[shard]++
+		if _, taken := f.shardOf[id]; !taken {
+			return id
+		}
+	}
+}
+
+// StepUntil advances every shard's virtual clock to t, in shard order
+// (deterministic: shard i's events at a given instant always run
+// before shard i+1's). Returns the first shard error, which is sticky
+// on that shard.
+func (f *Federation) StepUntil(t float64) error {
+	if f.drained {
+		return fmt.Errorf("fed: %w", core.ErrDrained)
+	}
+	for i, s := range f.shards {
+		if err := s.Controller().StepUntil(t); err != nil {
+			return fmt.Errorf("fed: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Drain runs every shard's backlog to completion and retires the
+// federation: further Submit/StepUntil/Drain calls fail with
+// core.ErrDrained. Every shard is drained even if one fails (a
+// poisoned shard must not leak the others' reservations); the first
+// error wins. Results are returned in global submission order.
+func (f *Federation) Drain() ([]*core.JobResult, error) {
+	if f.drained {
+		return nil, fmt.Errorf("fed: %w", core.ErrDrained)
+	}
+	f.drained = true
+	var firstErr error
+	for i, s := range f.shards {
+		if _, err := s.Controller().Drain(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fed: shard %d: %w", i, err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return f.Results(), nil
+}
+
+// ShardOf reports which shard owns an accepted job ID.
+func (f *Federation) ShardOf(id int) (int, bool) {
+	s, ok := f.shardOf[id]
+	return s, ok
+}
+
+// Status reports a job's lifecycle state (StatusUnknown for IDs never
+// accepted by Submit).
+func (f *Federation) Status(id int) core.JobStatus {
+	s, ok := f.shardOf[id]
+	if !ok {
+		return core.StatusUnknown
+	}
+	return f.shards[s].Controller().Status(id)
+}
+
+// Result returns a job's result slot and status (see
+// LiveController.Result).
+func (f *Federation) Result(id int) (*core.JobResult, core.JobStatus) {
+	s, ok := f.shardOf[id]
+	if !ok {
+		return nil, core.StatusUnknown
+	}
+	return f.shards[s].Controller().Result(id)
+}
+
+// Results returns every accepted job's result slot in global
+// submission order; entries for unsettled jobs are partial.
+func (f *Federation) Results() []*core.JobResult {
+	out := make([]*core.JobResult, 0, len(f.jobs))
+	for _, j := range f.jobs {
+		r, _ := f.Result(j.ID)
+		out = append(out, r)
+	}
+	return out
+}
+
+// SettledResults returns completed and failed jobs' results in global
+// submission order.
+func (f *Federation) SettledResults() []*core.JobResult {
+	out := make([]*core.JobResult, 0, len(f.jobs))
+	for _, j := range f.jobs {
+		if f.Status(j.ID).Settled() {
+			r, _ := f.Result(j.ID)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RunStats sums the shards' cumulative scheduling-round and event
+// counts.
+func (f *Federation) RunStats() core.RunStats {
+	var rs core.RunStats
+	for _, s := range f.shards {
+		st := s.Controller().RunStats()
+		rs.Rounds += st.Rounds
+		rs.Events += st.Events
+	}
+	return rs
+}
+
+// PlanCacheStats merges the shards' plan-cache counters: hit, miss,
+// eviction, and size/capacity totals, Enabled when any shard caches.
+// The federated hit rate is affinity routing's scoreboard.
+func (f *Federation) PlanCacheStats() plan.Stats {
+	var m plan.Stats
+	for _, s := range f.shards {
+		ps := s.Controller().PlanCacheStats()
+		m.Hits += ps.Hits
+		m.Misses += ps.Misses
+		m.Evictions += ps.Evictions
+		m.Size += ps.Size
+		m.Capacity += ps.Capacity
+		m.Enabled = m.Enabled || ps.Enabled
+	}
+	return m
+}
+
+// ConfigurePlanCache re-bounds every shard's plan cache (see
+// Controller.ConfigurePlanCache); the size applies per shard.
+func (f *Federation) ConfigurePlanCache(size int) {
+	for _, s := range f.shards {
+		s.Controller().ConfigurePlanCache(size)
+	}
+}
+
+// RouterStats reports the admission router's cumulative decision
+// counters.
+func (f *Federation) RouterStats() RouterStats { return f.router.stats }
+
+// Routing returns the configured routing discipline.
+func (f *Federation) Routing() Routing { return f.router.routing }
+
+// WFQClock returns the federation's shared WFQ clock (nil for a
+// Wrap-adopted controller, which keeps its private clock).
+func (f *Federation) WFQClock() *core.WFQClock { return f.wfq }
+
+// Snapshot aggregates the shards' live snapshots: job counts, rounds,
+// and events sum; Now is the furthest shard clock; Utilization is
+// weighted by each shard's computing capacity so it stays the
+// federation-wide reserved fraction.
+func (f *Federation) Snapshot() core.LiveSnapshot {
+	var agg core.LiveSnapshot
+	totalCap := 0
+	weighted := 0.0
+	for _, s := range f.shards {
+		snap := s.Controller().Snapshot()
+		if snap.Now > agg.Now {
+			agg.Now = snap.Now
+		}
+		agg.Pending += snap.Pending
+		agg.Queued += snap.Queued
+		agg.Active += snap.Active
+		agg.Completed += snap.Completed
+		agg.Failed += snap.Failed
+		agg.PendingReleases += snap.PendingReleases
+		agg.Rounds += snap.Rounds
+		agg.Events += snap.Events
+		cap := s.Controller().TotalComputing()
+		totalCap += cap
+		weighted += snap.Utilization * float64(cap)
+	}
+	if totalCap > 0 {
+		agg.Utilization = weighted / float64(totalCap)
+	}
+	return agg
+}
+
+// ShardSnapshots returns each shard's own live snapshot, indexed by
+// shard.
+func (f *Federation) ShardSnapshots() []core.LiveSnapshot {
+	out := make([]core.LiveSnapshot, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = s.Controller().Snapshot()
+	}
+	return out
+}
+
+// QPULoads returns per-shard QPU load views (QPU ids are local to each
+// shard's cloud).
+func (f *Federation) QPULoads() [][]core.QPULoad {
+	out := make([][]core.QPULoad, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = s.Controller().QPULoads()
+	}
+	return out
+}

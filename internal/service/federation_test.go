@@ -1,0 +1,314 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/fed"
+	"cloudqc/internal/place"
+)
+
+// newFederationServer builds a server over an n-shard federation of
+// identical random clouds, with the deterministic fake clock.
+func newFederationServer(t *testing.T, cfg Config, shards int, seed int64, mode core.Mode) (*Server, *httptest.Server, *fakeClock, *fed.Federation) {
+	t.Helper()
+	pCfg := place.DefaultConfig()
+	pCfg.Seed = seed
+	clouds := make([]*cloud.Cloud, shards)
+	for i := range clouds {
+		clouds[i] = cloud.NewRandom(10, 0.3, 20, 5, 1)
+	}
+	f, err := fed.New(fed.Config{
+		Shard: core.Config{
+			Placer: place.NewCloudQC(pCfg),
+			Mode:   mode,
+			Seed:   seed,
+		},
+		Clouds: clouds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	cfg.Federation = f
+	cfg.Now = clock.now
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1000
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, clock, f
+}
+
+// TestServiceFederationStats: a multi-shard server reports the
+// federated view — shard count, routing counters that account for
+// every accepted job, per-shard breakdowns on /v1/stats and
+// /v1/cluster that sum to the aggregates, and shard-tagged job ids.
+func TestServiceFederationStats(t *testing.T) {
+	const shards = 3
+	_, ts, clock, _ := newFederationServer(t, Config{}, shards, 7, core.FIFOMode)
+
+	circuits := []string{"qft_n29", "qugan_n39", "ghz_n127", "cat_n65", "qft_n63", "cat_n130"}
+	ids := make(map[int]bool)
+	for i, name := range circuits {
+		var jr JobResponse
+		code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Tenant: i % 2, Circuit: name}, &jr)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d", name, code)
+		}
+		if ids[jr.ID] {
+			t.Fatalf("duplicate job id %d", jr.ID)
+		}
+		ids[jr.ID] = true
+		clock.advance(50 * time.Millisecond)
+	}
+
+	var stats StatsResponse
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	fw := stats.Federation
+	if fw.Shards != shards || fw.Routing != "affinity" {
+		t.Fatalf("federation view = %+v, want %d shards under affinity routing", fw, shards)
+	}
+	routed := fw.Router.AffinityHits + fw.Router.Spills + fw.Router.Cold + fw.Router.Random
+	if routed != int64(len(circuits)) {
+		t.Fatalf("router counters %+v account for %d jobs, want %d", fw.Router, routed, len(circuits))
+	}
+	if fw.Router.Random != 0 {
+		t.Fatalf("affinity routing drew from the random arm: %+v", fw.Router)
+	}
+	if len(fw.PerShard) != shards {
+		t.Fatalf("per-shard breakdown has %d entries, want %d", len(fw.PerShard), shards)
+	}
+	submitted, misses := 0, int64(0)
+	for i, sw := range fw.PerShard {
+		if sw.Shard != i {
+			t.Fatalf("per_shard[%d].shard = %d", i, sw.Shard)
+		}
+		submitted += sw.Snapshot.Pending + sw.Snapshot.Queued + sw.Snapshot.Active +
+			sw.Snapshot.Completed + sw.Snapshot.Failed
+		misses += sw.PlanCache.Misses
+	}
+	if submitted != len(circuits) {
+		t.Fatalf("shard snapshots account for %d jobs, want %d", submitted, len(circuits))
+	}
+	if misses != stats.PlanCache.Misses {
+		t.Fatalf("per-shard misses sum %d != merged %d", misses, stats.PlanCache.Misses)
+	}
+
+	var cr ClusterResponse
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/cluster", nil, &cr); code != http.StatusOK {
+		t.Fatal("cluster failed")
+	}
+	if len(cr.Shards) != shards || len(cr.QPUs) != shards*10 {
+		t.Fatalf("cluster view: %d shards, %d QPUs, want %d and %d",
+			len(cr.Shards), len(cr.QPUs), shards, shards*10)
+	}
+	total := 0
+	for _, sc := range cr.Shards {
+		total += len(sc.QPUs)
+	}
+	if total != len(cr.QPUs) {
+		t.Fatalf("per-shard QPU lists (%d) disagree with the concatenation (%d)", total, len(cr.QPUs))
+	}
+}
+
+// TestServiceFederationQuotaIsolation: the in-flight quota is
+// per-tenant and federation-wide — a tenant cannot dodge it by having
+// its jobs land on different shards, and one tenant's quota exhaustion
+// never throttles another.
+func TestServiceFederationQuotaIsolation(t *testing.T) {
+	_, ts, clock, _ := newFederationServer(t, Config{MaxInFlight: 2}, 2, 5, core.FIFOMode)
+	submit := func(tenant int) (int, ErrorResponse, JobResponse) {
+		var raw json.RawMessage
+		code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Tenant: tenant, Circuit: "ghz_n127"}, &raw)
+		var e ErrorResponse
+		var jr JobResponse
+		if code == http.StatusAccepted {
+			_ = json.Unmarshal(raw, &jr)
+		} else {
+			_ = json.Unmarshal(raw, &e)
+		}
+		return code, e, jr
+	}
+	// ghz_n127 needs 127 qubits; a 10-QPU × 20-computing shard holds
+	// one at a time, so two back-to-back submissions occupy both
+	// shards and the tenant's quota fills exactly at the shard count.
+	for i := 0; i < 2; i++ {
+		if code, e, _ := submit(0); code != http.StatusAccepted {
+			t.Fatalf("tenant 0 submit %d: %d %+v", i, code, e)
+		}
+		clock.advance(10 * time.Millisecond)
+	}
+	code, e, _ := submit(0)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota cross-shard submit: %d, want 429", code)
+	}
+	if e.RetryAfterSeconds <= 0 {
+		t.Fatalf("429 without retry hint: %+v", e)
+	}
+	// Tenant 1 is unaffected by tenant 0's quota.
+	if code, e, _ := submit(1); code != http.StatusAccepted {
+		t.Fatalf("tenant 1 submit: %d %+v", code, e)
+	}
+}
+
+// TestServiceFederationConcurrent hammers a 3-shard server from
+// parallel tenants with tight rate limits — the race lane
+// (go test -race) exercises the mutex over the whole federation, and
+// every 429 must carry coherent Retry-After arithmetic
+// (header = ceil(retry_after_seconds) ≥ 1).
+func TestServiceFederationConcurrent(t *testing.T) {
+	srv, ts, _, f := newFederationServer(t,
+		Config{TimeScale: 100000, Rate: 500, Burst: 3, MaxInFlight: 6}, 3, 17, core.WFQMode)
+
+	var mu sync.Mutex
+	accepted, rejected := 0, 0
+	var wg sync.WaitGroup
+	for tenant := 0; tenant < 4; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				body, _ := json.Marshal(SubmitRequest{Tenant: tenant, Circuit: "qft_n29", DeadlineSlack: 50})
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					mu.Lock()
+					accepted++
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					var e ErrorResponse
+					if err := json.Unmarshal(data, &e); err != nil || e.RetryAfterSeconds <= 0 {
+						t.Errorf("tenant %d: 429 body %q lacks retry_after_seconds", tenant, data)
+						return
+					}
+					hdr, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+					if err != nil || hdr != int(math.Ceil(e.RetryAfterSeconds)) || hdr < 1 {
+						t.Errorf("tenant %d: Retry-After %q vs retry_after_seconds %v",
+							tenant, resp.Header.Get("Retry-After"), e.RetryAfterSeconds)
+						return
+					}
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				default:
+					t.Errorf("tenant %d submit %d: %d %s", tenant, i, resp.StatusCode, data)
+					return
+				}
+			}
+		}(tenant)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				for _, path := range []string{"/v1/stats", "/v1/cluster"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-drain: every accepted job settled, rejected count agrees,
+	// and new submissions bounce with the typed-drained 409.
+	var stats StatsResponse
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatal("post-drain stats failed")
+	}
+	if stats.Submitted != accepted || stats.Settled != accepted || stats.Rejected != rejected {
+		t.Fatalf("stats %+v, want %d submitted+settled and %d rejected", stats, accepted, rejected)
+	}
+	for _, res := range f.Results() {
+		if !f.Status(res.Job.ID).Settled() {
+			t.Fatalf("job %d unsettled after drain", res.Job.ID)
+		}
+	}
+	var e ErrorResponse
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Circuit: "qft_n29"}, &e); code != http.StatusConflict {
+		t.Fatalf("post-drain submit: %d, want 409", code)
+	}
+}
+
+// TestServiceMapsErrDrained is the regression lock for the typed
+// drained error: a federation drained out-of-band (not via
+// Server.Drain) surfaces core.ErrDrained from Submit, and the server
+// maps it to 409 Conflict rather than a 500.
+func TestServiceMapsErrDrained(t *testing.T) {
+	srv, ts, _, f := newFederationServer(t, Config{}, 2, 3, core.FIFOMode)
+	if _, err := f.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Circuit: "qft_n29"}, &e)
+	if code != http.StatusConflict {
+		t.Fatalf("submit to externally drained federation: %d (%+v), want 409", code, e)
+	}
+	// The server's own Drain still reports the condition cleanly.
+	if _, err := srv.Drain(); err == nil {
+		t.Fatal("drain of a drained federation should error")
+	}
+}
+
+// TestServiceFederationShardTaggedIDs: job ids handed out over HTTP
+// are shard-tagged (id mod shards = routed shard) and resolvable via
+// GET /v1/jobs/{id} regardless of which shard runs them.
+func TestServiceFederationShardTaggedIDs(t *testing.T) {
+	const shards = 2
+	_, ts, clock, f := newFederationServer(t, Config{}, shards, 9, core.FIFOMode)
+	var got []int
+	for i := 0; i < 4; i++ {
+		var jr JobResponse
+		// Wide circuits force spillover across shards.
+		code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Tenant: 0, Circuit: "ghz_n127"}, &jr)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		got = append(got, jr.ID)
+		clock.advance(10 * time.Millisecond)
+	}
+	for _, id := range got {
+		shard, ok := f.ShardOf(id)
+		if !ok {
+			t.Fatalf("job %d has no shard", id)
+		}
+		if id%shards != shard {
+			t.Fatalf("job %d on shard %d: id mod %d = %d", id, shard, shards, id%shards)
+		}
+		var jr JobResponse
+		if code, _ := doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id), nil, &jr); code != http.StatusOK || jr.ID != id {
+			t.Fatalf("GET job %d: %d %+v", id, code, jr)
+		}
+	}
+}

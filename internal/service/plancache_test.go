@@ -51,12 +51,12 @@ func TestStatsReportsPlanCache(t *testing.T) {
 // disables the controller's cache at construction.
 func TestPlanCacheSizeKnob(t *testing.T) {
 	srv, _, _ := newTestServer(t, Config{PlanCacheSize: 3}, 22, core.FIFOMode)
-	if s := srv.lc.PlanCacheStats(); !s.Enabled || s.Capacity != 3 {
+	if s := srv.f.PlanCacheStats(); !s.Enabled || s.Capacity != 3 {
 		t.Fatalf("PlanCacheSize 3 gave stats %+v", s)
 	}
 
 	off, ts, _ := newTestServer(t, Config{PlanCacheSize: -1}, 23, core.FIFOMode)
-	if s := off.lc.PlanCacheStats(); s.Enabled {
+	if s := off.f.PlanCacheStats(); s.Enabled {
 		t.Fatalf("PlanCacheSize -1 left the cache enabled: %+v", s)
 	}
 	var stats StatsResponse

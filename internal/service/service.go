@@ -10,14 +10,20 @@
 //
 //	POST /v1/jobs      submit a circuit (qlib name or inline OpenQASM);
 //	                   202 with the job id, 429 with a retry hint when
-//	                   the tenant is over its rate or quota
+//	                   the tenant is over its rate or quota, 409 once
+//	                   the backend is drained
 //	GET  /v1/jobs/{id} one job's status and (once settled) its result
 //	GET  /v1/stats     stream aggregates: online stats + per-tenant SLO
-//	GET  /v1/cluster   cluster state: virtual clock, per-QPU load
+//	                   + the federation's routing counters and
+//	                   per-shard breakdown
+//	GET  /v1/cluster   cluster state: virtual clock, per-QPU load,
+//	                   per-shard snapshots
 //
-// The server owns a core.LiveController and serializes all access; the
-// wall clock is injectable, so tests drive virtual time
-// deterministically with httptest.
+// The server owns a fed.Federation (a single live controller is
+// wrapped into a one-shard federation, preserving its behavior
+// bit-for-bit) and serializes all access; the wall clock is
+// injectable, so tests drive virtual time deterministically with
+// httptest.
 package service
 
 import (
@@ -33,17 +39,24 @@ import (
 
 	"cloudqc/internal/circuit"
 	"cloudqc/internal/core"
+	"cloudqc/internal/fed"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/plan"
 	"cloudqc/internal/qasm"
 	"cloudqc/internal/qlib"
 )
 
-// Config assembles a Server.
+// Config assembles a Server. Exactly one of Controller and Federation
+// must be set.
 type Config struct {
-	// Controller is the live controller to serve. Required; the server
+	// Controller is a single live controller to serve; the server wraps
+	// it into a one-shard federation (bit-identical behavior) and
 	// assumes exclusive ownership.
 	Controller *core.LiveController
+	// Federation is a multi-shard federation to serve; the server
+	// assumes exclusive ownership. Submissions carry no shard choice —
+	// the federation's admission router decides.
+	Federation *fed.Federation
 	// TimeScale maps wall time onto virtual time: CX units per wall
 	// second (default 1000). With Table I's 10-CX EPR attempt, the
 	// default paces 100 EPR rounds per second.
@@ -60,9 +73,9 @@ type Config struct {
 	// running); submissions beyond it are rejected 429 until jobs
 	// settle. Non-positive means unlimited.
 	MaxInFlight int
-	// PlanCacheSize re-bounds the controller's compile-once plan cache:
+	// PlanCacheSize re-bounds every shard's compile-once plan cache:
 	// positive sets the LRU capacity, negative disables caching, zero
-	// leaves the controller's configuration untouched. Hit/miss
+	// leaves the controllers' configuration untouched. Hit/miss
 	// counters surface on GET /v1/stats as "plan_cache".
 	PlanCacheSize int
 	// Now injects the wall clock; defaults to time.Now. Tests use a
@@ -70,13 +83,13 @@ type Config struct {
 	Now func() time.Time
 }
 
-// Server is the HTTP front of one live controller. Create with New,
-// mount anywhere (it implements http.Handler), and call Drain on
-// shutdown to run the backlog dry.
+// Server is the HTTP front of one federation. Create with New, mount
+// anywhere (it implements http.Handler), and call Drain on shutdown to
+// run the backlog dry.
 type Server struct {
 	mu  sync.Mutex
 	cfg Config
-	lc  *core.LiveController
+	f   *fed.Federation
 	mux *http.ServeMux
 	// epoch anchors the wall→virtual mapping at the first request.
 	epoch   time.Time
@@ -87,15 +100,23 @@ type Server struct {
 	// the daemon ever accepted (see sweep).
 	unsettled map[int]map[int]bool
 	settled   []*core.JobResult
-	nextID    int
+	submitted int
 	rejected  int
 	draining  bool
 }
 
 // New validates the configuration and returns a serving-ready Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Controller == nil {
-		return nil, errors.New("service: Config.Controller is required")
+	var f *fed.Federation
+	switch {
+	case cfg.Controller != nil && cfg.Federation != nil:
+		return nil, errors.New("service: set exactly one of Config.Controller and Config.Federation, not both")
+	case cfg.Federation != nil:
+		f = cfg.Federation
+	case cfg.Controller != nil:
+		f = fed.Wrap(cfg.Controller)
+	default:
+		return nil, errors.New("service: one of Config.Controller and Config.Federation is required")
 	}
 	if cfg.TimeScale < 0 {
 		return nil, fmt.Errorf("service: negative TimeScale %v", cfg.TimeScale)
@@ -113,11 +134,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.Now = time.Now
 	}
 	if cfg.PlanCacheSize != 0 {
-		cfg.Controller.ConfigurePlanCache(cfg.PlanCacheSize)
+		f.ConfigurePlanCache(cfg.PlanCacheSize)
 	}
 	s := &Server{
 		cfg:       cfg,
-		lc:        cfg.Controller,
+		f:         f,
 		buckets:   make(map[int]*bucket),
 		unsettled: make(map[int]map[int]bool),
 	}
@@ -132,8 +153,8 @@ func New(cfg Config) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// advance maps the current wall instant onto virtual time and steps the
-// controller there. Callers hold s.mu. The first call anchors the
+// advance maps the current wall instant onto virtual time and steps
+// every shard there. Callers hold s.mu. The first call anchors the
 // epoch, so virtual time 0 is the first request, not server start.
 func (s *Server) advance(now time.Time) error {
 	if s.draining {
@@ -143,7 +164,14 @@ func (s *Server) advance(now time.Time) error {
 		s.epoch = now
 	}
 	v := now.Sub(s.epoch).Seconds() * s.cfg.TimeScale
-	return s.lc.StepUntil(v)
+	err := s.f.StepUntil(v)
+	if errors.Is(err, core.ErrDrained) {
+		// Drained out-of-band (not via Server.Drain): there is nothing
+		// left to step. Status and stats keep answering; submissions
+		// fall through to the federation's typed rejection (409).
+		return nil
+	}
+	return err
 }
 
 // sweep moves freshly settled jobs out of the per-tenant in-flight sets
@@ -155,7 +183,7 @@ func (s *Server) sweep() {
 	var fresh []*core.JobResult
 	for tenant, ids := range s.unsettled {
 		for id := range ids {
-			res, status := s.lc.Result(id)
+			res, status := s.f.Result(id)
 			if !status.Settled() {
 				continue
 			}
@@ -200,7 +228,7 @@ func (s *Server) Drain() ([]*core.JobResult, error) {
 		return nil, errors.New("service: already drained")
 	}
 	s.draining = true
-	results, err := s.lc.Drain()
+	results, err := s.f.Drain()
 	if err == nil {
 		s.sweep() // the whole backlog just settled; stats stay consistent
 	}
@@ -280,7 +308,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // the 429 retry hint.
 func (s *Server) submit(req SubmitRequest, circ *circuit.Circuit) (int, any, float64) {
 	if s.draining {
-		return http.StatusServiceUnavailable, "server is draining", 0
+		return http.StatusConflict, "server is drained; submissions are closed", 0
 	}
 	now := s.cfg.Now()
 	if err := s.advance(now); err != nil {
@@ -301,9 +329,11 @@ func (s *Server) submit(req SubmitRequest, circ *circuit.Circuit) (int, any, flo
 			fmt.Sprintf("tenant %d over submission rate", req.Tenant), wait
 	}
 
-	arrival := s.lc.Now()
+	arrival := s.f.Now()
+	// ID -1 lets the federation assign the next shard-tagged id
+	// (id mod shards = the routed shard; dense 0,1,2,… on one shard).
 	job := &core.Job{
-		ID:       s.nextID,
+		ID:       -1,
 		Circuit:  circ,
 		Arrival:  arrival,
 		Tenant:   req.Tenant,
@@ -312,10 +342,13 @@ func (s *Server) submit(req SubmitRequest, circ *circuit.Circuit) (int, any, flo
 	if req.DeadlineSlack > 0 {
 		job.Deadline = arrival + float64(circ.Depth())*req.DeadlineSlack
 	}
-	if err := s.lc.Submit(job); err != nil {
+	if err := s.f.Submit(job); err != nil {
+		if errors.Is(err, core.ErrDrained) {
+			return http.StatusConflict, err.Error(), 0
+		}
 		return http.StatusInternalServerError, err.Error(), 0
 	}
-	s.nextID++
+	s.submitted++
 	if s.unsettled[req.Tenant] == nil {
 		s.unsettled[req.Tenant] = make(map[int]bool)
 	}
@@ -335,7 +368,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error(), 0)
 		return
 	}
-	_, status := s.lc.Result(id)
+	_, status := s.f.Result(id)
 	var resp JobResponse
 	if status != core.StatusUnknown {
 		resp = s.jobResponse(id)
@@ -351,14 +384,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // jobResponse renders a job's current state; callers hold s.mu and
 // have verified the id exists.
 func (s *Server) jobResponse(id int) JobResponse {
-	res, status := s.lc.Result(id)
+	res, status := s.f.Result(id)
 	resp := JobResponse{
 		ID:         id,
 		Tenant:     res.Job.Tenant,
 		Status:     status.String(),
 		Arrival:    res.Job.Arrival,
 		Deadline:   res.Job.Deadline,
-		VirtualNow: s.lc.Now(),
+		VirtualNow: s.f.Now(),
 	}
 	if status == core.StatusCompleted {
 		resp.PlacedAt = res.PlacedAt
@@ -387,10 +420,50 @@ type StatsResponse struct {
 	Rejected int                 `json:"rejected"`
 	Online   metrics.OnlineStats `json:"online"`
 	SLO      SLOWire             `json:"slo"`
-	// PlanCache reports the compile-once plan cache's hit/miss/eviction
-	// counters and occupancy (all zero with "enabled": false when the
-	// controller runs uncached).
+	// PlanCache reports the compile-once plan caches' hit/miss/eviction
+	// counters and occupancy, merged across shards (all zero with
+	// "enabled": false when every controller runs uncached).
 	PlanCache plan.Stats `json:"plan_cache"`
+	// Federation reports the routing tier: shard count, discipline,
+	// admission-router counters, and the per-shard breakdown. A
+	// single-controller server shows one shard with zeroed counters.
+	Federation FederationWire `json:"federation"`
+}
+
+// FederationWire is /v1/stats' federated view.
+type FederationWire struct {
+	Shards   int             `json:"shards"`
+	Routing  string          `json:"routing"`
+	Router   fed.RouterStats `json:"router"`
+	PerShard []ShardWire     `json:"per_shard"`
+}
+
+// ShardWire is one shard's slice of the federated view: its lifecycle
+// counts and its local plan cache, so affinity routing's cache-locality
+// payoff is observable per shard.
+type ShardWire struct {
+	Shard     int               `json:"shard"`
+	Snapshot  core.LiveSnapshot `json:"snapshot"`
+	PlanCache plan.Stats        `json:"plan_cache"`
+}
+
+// federationWire renders the routing tier; callers hold s.mu.
+func (s *Server) federationWire() FederationWire {
+	fw := FederationWire{
+		Shards:   s.f.NumShards(),
+		Routing:  s.f.Routing().String(),
+		Router:   s.f.RouterStats(),
+		PerShard: make([]ShardWire, s.f.NumShards()),
+	}
+	snaps := s.f.ShardSnapshots()
+	for i := range fw.PerShard {
+		fw.PerShard[i] = ShardWire{
+			Shard:     i,
+			Snapshot:  snaps[i],
+			PlanCache: s.f.Shard(i).Controller().PlanCacheStats(),
+		}
+	}
+	return fw
 }
 
 // SLOWire is metrics.SLOStats with NaNs (no deadline-carrying jobs,
@@ -421,26 +494,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sweep()
 	resp := StatsResponse{
-		VirtualNow: s.lc.Now(),
-		Submitted:  s.nextID,
+		VirtualNow: s.f.Now(),
+		Submitted:  s.submitted,
 		Settled:    len(s.settled),
 		Rejected:   s.rejected,
 		Online:     core.OnlineStatsOf(s.settled),
 		SLO:        sloWire(metrics.AggregateSLO(core.Outcomes(s.settled))),
-		PlanCache:  s.lc.PlanCacheStats(),
+		PlanCache:  s.f.PlanCacheStats(),
+		Federation: s.federationWire(),
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// ClusterResponse is GET /v1/cluster: the cluster's instantaneous
-// state under the virtual clock.
+// ClusterResponse is GET /v1/cluster: the federation's instantaneous
+// state under the virtual clock. Snapshot aggregates every shard and
+// QPUs concatenates their loads in shard order (QPU ids are
+// shard-local); Shards carries each shard cloud's own view.
 type ClusterResponse struct {
-	VirtualNow float64           `json:"virtual_now"`
-	TimeScale  float64           `json:"time_scale"`
-	Draining   bool              `json:"draining"`
-	Snapshot   core.LiveSnapshot `json:"snapshot"`
-	QPUs       []core.QPULoad    `json:"qpus"`
+	VirtualNow float64            `json:"virtual_now"`
+	TimeScale  float64            `json:"time_scale"`
+	Draining   bool               `json:"draining"`
+	Snapshot   core.LiveSnapshot  `json:"snapshot"`
+	QPUs       []core.QPULoad     `json:"qpus"`
+	Shards     []ShardClusterWire `json:"shards"`
+}
+
+// ShardClusterWire is one shard cloud's slice of /v1/cluster.
+type ShardClusterWire struct {
+	Shard    int               `json:"shard"`
+	Snapshot core.LiveSnapshot `json:"snapshot"`
+	QPUs     []core.QPULoad    `json:"qpus"`
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -450,12 +534,18 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error(), 0)
 		return
 	}
+	snaps := s.f.ShardSnapshots()
+	loads := s.f.QPULoads()
 	resp := ClusterResponse{
-		VirtualNow: s.lc.Now(),
+		VirtualNow: s.f.Now(),
 		TimeScale:  s.cfg.TimeScale,
 		Draining:   s.draining,
-		Snapshot:   s.lc.Snapshot(),
-		QPUs:       s.lc.QPULoads(),
+		Snapshot:   s.f.Snapshot(),
+		Shards:     make([]ShardClusterWire, s.f.NumShards()),
+	}
+	for i := range resp.Shards {
+		resp.Shards[i] = ShardClusterWire{Shard: i, Snapshot: snaps[i], QPUs: loads[i]}
+		resp.QPUs = append(resp.QPUs, loads[i]...)
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)

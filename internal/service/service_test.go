@@ -15,6 +15,7 @@ import (
 
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
+	"cloudqc/internal/fed"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
 )
@@ -371,8 +372,9 @@ func TestServiceClusterEndpoint(t *testing.T) {
 	}
 }
 
-// TestServiceDrain: draining rejects new submissions with 503, settles
-// the backlog, and keeps status/stats readable.
+// TestServiceDrain: draining rejects new submissions with 409 Conflict
+// (the typed core.ErrDrained condition), settles the backlog, and
+// keeps status/stats readable.
 func TestServiceDrain(t *testing.T) {
 	srv, ts, _ := newTestServer(t, Config{}, 13, core.FIFOMode)
 	var jr JobResponse
@@ -387,8 +389,8 @@ func TestServiceDrain(t *testing.T) {
 		t.Fatalf("drain results = %+v", results)
 	}
 	var e ErrorResponse
-	if code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Circuit: "qft_n29"}, &e); code != http.StatusServiceUnavailable {
-		t.Fatalf("post-drain submit: %d, want 503", code)
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Circuit: "qft_n29"}, &e); code != http.StatusConflict {
+		t.Fatalf("post-drain submit: %d, want 409", code)
 	}
 	if code, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/0", nil, &jr); code != http.StatusOK || jr.Status != "completed" {
 		t.Fatalf("post-drain status: %d %+v", code, jr)
@@ -405,11 +407,14 @@ func TestServiceDrain(t *testing.T) {
 // TestServiceConfigValidation locks down New's validation and defaults.
 func TestServiceConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
-		t.Fatal("nil controller should error")
+		t.Fatal("nil backend should error")
 	}
 	lc, err := core.NewLiveController(testControllerConfig(1, core.BatchMode))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if _, err := New(Config{Controller: lc, Federation: fed.Wrap(lc)}); err == nil {
+		t.Fatal("both Controller and Federation should error")
 	}
 	if _, err := New(Config{Controller: lc, TimeScale: -1}); err == nil {
 		t.Fatal("negative TimeScale should error")
