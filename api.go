@@ -111,7 +111,7 @@ func PolicyRandom() Policy { return sched.RandomPolicy{} }
 // across tenants in proportion to their weights (Job.Priority) before
 // falling back to CloudQC's per-gate priority order, bounding
 // cross-tenant starvation at the EPR-allocation layer.
-func PolicyTenantWeighted() Policy { return sched.TenantWeightedPolicy{} }
+func PolicyTenantWeighted() Policy { return sched.NewTenantWeightedPolicy() }
 
 // ParseAdmissionMode maps a mode name — "batch", "fifo", "edf", or
 // "wfq" (empty means batch) — to the Cluster admission mode.

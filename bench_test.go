@@ -453,6 +453,64 @@ func BenchmarkFederation(b *testing.B) {
 	b.ReportMetric(events/float64(b.N), "events/run")
 }
 
+// BenchmarkPreemption drives the preemptible controller end to end: a
+// steady low-priority stream of sparse chains with periodic bursts of
+// deadline-carrying QFT jobs layered on top, under EDF admission with
+// deadline rescue. Bursts land while the chains hold the cloud, so
+// every iteration exercises checkpoint, re-enqueue, and resume; the
+// rounds/run and events/run counters (and the preemption counters
+// themselves) are deterministic, so CI gates on them alongside the
+// ClusterOnline family.
+func BenchmarkPreemption(b *testing.B) {
+	const seed = 7
+	mix := []TenantSpec{
+		{Tenant: 0, Priority: 1,
+			Workload: Workload{Name: "SparseChains", Circuits: []string{"ghz_n127", "cat_n130"}},
+			Jobs:     8, Process: "poisson", MeanInterarrival: 3000},
+		{Tenant: 1, Priority: 4,
+			Workload: Workload{Name: "DeadlineBursts", Circuits: []string{"qft_n63"}},
+			Jobs:     6, Process: "bursty", MeanInterarrival: 6000,
+			MinSlack: 30, MaxSlack: 60},
+	}
+	var rounds, events, preempted float64
+	for i := 0; i < b.N; i++ {
+		jobs, err := MultiTenantJobs(mix, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := DefaultPlacerConfig()
+		pcfg.Seed = seed
+		ct, err := NewCluster(ClusterConfig{
+			Cloud:   NewRandomCloud(20, 0.3, 20, 5, 1),
+			Placer:  NewPlacer(pcfg),
+			Mode:    EDFMode,
+			Seed:    seed,
+			Preempt: PreemptRescue,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ct.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Failed {
+				b.Fatal("unexpected failed job")
+			}
+		}
+		if ct.PreemptStats().Preemptions == 0 {
+			b.Fatal("preemption never fired: the bench regime lost its contention")
+		}
+		rounds += float64(ct.LastRunStats().Rounds)
+		events += float64(ct.LastRunStats().Events)
+		preempted += float64(ct.PreemptStats().Preemptions)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/run")
+	b.ReportMetric(events/float64(b.N), "events/run")
+	b.ReportMetric(preempted/float64(b.N), "preemptions/run")
+}
+
 // Allocation-policy micro-benchmarks: the per-round cost of dividing
 // the communication-qubit budget across competing gates. sortByPriority
 // used to copy the request slice every round; these benches pin the
@@ -502,7 +560,7 @@ func benchAllocPolicy(b *testing.B, p sched.Policy) {
 func BenchmarkAllocPolicyCloudQC(b *testing.B) { benchAllocPolicy(b, sched.CloudQCPolicy{}) }
 
 func BenchmarkAllocPolicyTenantWeighted(b *testing.B) {
-	benchAllocPolicy(b, sched.TenantWeightedPolicy{})
+	benchAllocPolicy(b, sched.NewTenantWeightedPolicy())
 }
 
 // Plan-cache micro-benchmarks: the admit path's compile stage —

@@ -190,6 +190,15 @@ type (
 	// controllers bill into; hand one clock to several controllers (or
 	// let a Federation do it) to extend weighted fairness across them.
 	WFQClock = core.WFQClock
+	// PreemptPolicy selects checkpoint-based preemption at EPR-round
+	// boundaries (off, deadline-rescue, or priority); set it via
+	// ClusterConfig.Preempt.
+	PreemptPolicy = core.PreemptPolicy
+	// PreemptStats counts preemptions, resumes, and rescued deadlines
+	// (Cluster.PreemptStats / LiveController.PreemptStats /
+	// Federation.PreemptStats; the HTTP service reports it on
+	// GET /v1/stats).
+	PreemptStats = core.PreemptStats
 )
 
 // ErrDrained reports an operation on a live controller or federation
@@ -226,6 +235,24 @@ const (
 	// queueing over per-tenant virtual service.
 	WFQMode = core.WFQMode
 )
+
+// Preemption policies for the multi-tenant controller (Run,
+// LiveController, and Federation alike). With PreemptOff the controller
+// is bit-identical to run-to-completion execution.
+const (
+	// PreemptOff disables preemption: placements are final.
+	PreemptOff = core.PreemptOff
+	// PreemptRescue lets a queued job with a live deadline
+	// checkpoint-and-displace running jobs with strictly later deadlines.
+	PreemptRescue = core.PreemptRescue
+	// PreemptPriority lets a queued job displace running jobs of
+	// strictly lower tenant weight.
+	PreemptPriority = core.PreemptPriority
+)
+
+// ParsePreemptPolicy maps a policy name — "off" (or empty), "rescue",
+// or "priority" — to its PreemptPolicy.
+func ParsePreemptPolicy(s string) (PreemptPolicy, error) { return core.ParsePreempt(s) }
 
 // Federation admission-routing modes.
 const (

@@ -19,6 +19,9 @@
 //	                         invocable as `cloudqc -online`
 //	slo                      tenant- and deadline-aware scheduling:
 //	                         SLO attainment, Jain fairness, JCTs vs load
+//	preempt                  preemptible execution: SLO attainment and
+//	                         p99 JCT vs load with preemption off,
+//	                         deadline-rescue, and priority
 //	federation               federated controller tier: throughput, JCT
 //	                         and fairness vs shard count, with the
 //	                         affinity-vs-random routing ablation
@@ -198,6 +201,9 @@ func commandTable() []command {
 		command{"slo", "experiments",
 			"tenant- and deadline-aware scheduling: attainment, fairness, JCTs vs load (-process, -jobs per tenant, -interarrivals)",
 			runSLO},
+		command{"preempt", "experiments",
+			"preemptible execution: SLO attainment and p99 JCT vs load for preemption off/rescue/priority (-process, -jobs per tenant, -interarrivals)",
+			runPreempt},
 		command{"federation", "experiments",
 			"federated controller tier: throughput/JCT/fairness vs shard count, affinity vs random routing (-jobs per tenant)",
 			runFederation},
@@ -368,6 +374,27 @@ func runSLO(cc *cmdContext) error {
 	fmt.Printf("slo mode: %s arrivals, 3 tenants x %d jobs, attainment/fairness vs arrival rate and scheduler\n",
 		cc.process, cc.jobs)
 	fmt.Print(exp.RenderSLO(rows))
+	return nil
+}
+
+// runPreempt renders the preemption figure: the three-tenant deadline
+// mix under EDF admission with preemption off, deadline-rescue, and
+// priority, sweeping arrival rate — attainment and p99 JCT vs load.
+func runPreempt(cc *cmdContext) error {
+	if cc.jobs <= 0 {
+		return fmt.Errorf("-jobs must be positive, got %d", cc.jobs)
+	}
+	interarrivals, err := parseRates(cc.rates)
+	if err != nil {
+		return err
+	}
+	rows, err := exp.Preemption(cc.o, cc.process, cc.jobs, interarrivals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("preemption: %s arrivals, 3 tenants x %d jobs, EDF admission, attainment/p99 JCT vs arrival rate for preemption off/rescue/priority\n",
+		cc.process, cc.jobs)
+	fmt.Print(exp.RenderPreemption(rows))
 	return nil
 }
 

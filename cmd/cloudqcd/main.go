@@ -17,6 +17,14 @@
 //	-epr-prob    EPR generation success probability (default 0.3)
 //	-seed        controller seed
 //	-mode        admission mode: batch, fifo, edf, or wfq
+//	-preempt     preemption policy at EPR-round boundaries: off (the
+//	             default; placements are final), rescue (a queued job
+//	             with a live deadline may checkpoint-and-displace
+//	             running jobs with strictly later deadlines), or
+//	             priority (displace strictly lower-weight jobs);
+//	             preempted jobs resume from their checkpoint under
+//	             their original id, and GET /v1/stats reports
+//	             preemption/resume/rescued-deadline counters
 //	-tenant-weighted
 //	             split each EPR round's budget across tenants by weight
 //	-shards      federation shard count (default 1): N controller
@@ -87,6 +95,7 @@ func build(args []string) (*service.Server, string, error) {
 		eprProb   = fs.Float64("epr-prob", 0.3, "EPR generation success probability")
 		seed      = fs.Int64("seed", 1, "controller seed")
 		mode      = fs.String("mode", "fifo", "admission mode: batch, fifo, edf, or wfq")
+		preempt   = fs.String("preempt", "off", "preemption policy: off, rescue, or priority")
 		weighted  = fs.Bool("tenant-weighted", false, "tenant-weighted EPR allocation policy")
 		shards    = fs.Int("shards", 1, "federation shard count (1 = single controller)")
 		routing   = fs.String("routing", "affinity", "federation routing: affinity or random")
@@ -104,6 +113,10 @@ func build(args []string) (*service.Server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	pp, err := core.ParsePreempt(*preempt)
+	if err != nil {
+		return nil, "", err
+	}
 	rt, err := fed.ParseRouting(*routing)
 	if err != nil {
 		return nil, "", err
@@ -116,13 +129,14 @@ func build(args []string) (*service.Server, string, error) {
 	pCfg := place.DefaultConfig()
 	pCfg.Seed = *seed
 	cfg := core.Config{
-		Placer: place.NewCloudQC(pCfg),
-		Model:  model,
-		Mode:   m,
-		Seed:   *seed,
+		Placer:  place.NewCloudQC(pCfg),
+		Model:   model,
+		Mode:    m,
+		Seed:    *seed,
+		Preempt: pp,
 	}
 	if *weighted {
-		cfg.Policy = sched.TenantWeightedPolicy{}
+		cfg.Policy = sched.NewTenantWeightedPolicy()
 	}
 	// Each shard gets its own copy of the cloud shape (clouds carry
 	// mutable reservations); one shard is bit-identical to the

@@ -75,7 +75,10 @@ type JobResult struct {
 	Finished float64
 	// JCT = Finished − Arrival (queueing included), the paper's metric.
 	JCT float64
-	// WaitTime = PlacedAt − Arrival.
+	// WaitTime = PlacedAt − Arrival, the admission wait. A preempted and
+	// resumed job reports its first placement here: requeue spans after a
+	// preemption count toward JCT but not WaitTime, so the JCT-vs-wait
+	// decomposition in OnlineStats keeps meaning "time to first service".
 	WaitTime float64
 	// RemoteGates is the job's remote DAG size under its placement.
 	RemoteGates int
@@ -175,6 +178,16 @@ type Config struct {
 	// a single controller over a fresh shared clock behaves identically
 	// to the private default.
 	SharedWFQ *WFQClock
+	// Preempt selects the preemption policy applied at EPR-round
+	// boundaries (default PreemptOff). With PreemptOff the controller is
+	// bit-identical to the pre-preemption code path.
+	Preempt PreemptPolicy
+	// ExportPreempted, when set on a live controller, exports preempted
+	// jobs through TakePreempted instead of re-enqueueing them locally,
+	// so the federation layer can re-route a resume to a different
+	// shard. Set by fed.New on multi-shard federations; meaningless for
+	// one-shot runs.
+	ExportPreempted bool
 }
 
 // RunStats summarizes the control-loop work of the last Run, for
@@ -202,6 +215,9 @@ type Controller struct {
 	wfq *WFQClock
 	// stats describes the last Run/RunLockStep call.
 	stats RunStats
+	// preempt counts preemption activity; reset with the per-run
+	// scheduling state.
+	preempt PreemptStats
 	// planCache memoizes compile artifacts (placement, remote DAG) per
 	// (circuit fingerprint, free-capacity signature); nil when caching
 	// is disabled or the placer is not deterministic.
@@ -256,6 +272,9 @@ func NewController(cfg Config) (*Controller, error) {
 	if cfg.Mode < BatchMode || cfg.Mode > WFQMode {
 		return nil, fmt.Errorf("core: unknown admission mode %d", cfg.Mode)
 	}
+	if cfg.Preempt < PreemptOff || cfg.Preempt > PreemptPriority {
+		return nil, fmt.Errorf("core: unknown preemption policy %d", cfg.Preempt)
+	}
 	for i := 0; i < cfg.Cloud.NumQPUs(); i++ {
 		if cfg.Cloud.QPU(i).Comm < 1 {
 			return nil, fmt.Errorf("core: QPU %d has no communication qubits", i)
@@ -307,6 +326,11 @@ type activeJob struct {
 	state     *sched.JobState
 	placement *place.Placement
 	placedAt  float64
+	// firstPlacedAt is the job's first-ever placement time: equal to
+	// placedAt unless the job was preempted and resumed, in which case
+	// placedAt is the resume placement and firstPlacedAt the original —
+	// the one results report as PlacedAt/WaitTime.
+	firstPlacedAt float64
 }
 
 // release is a (time, placement) pair for computing qubits whose job
@@ -334,6 +358,7 @@ func (ct *Controller) resetScheduling(jobHint int) int {
 	}
 	ct.intensity = make(map[int]float64, jobHint)
 	ct.stats = RunStats{}
+	ct.preempt = PreemptStats{}
 	totalComputing := 0
 	for i := 0; i < ct.cfg.Cloud.NumQPUs(); i++ {
 		totalComputing += ct.cfg.Cloud.QPU(i).Computing
@@ -436,6 +461,15 @@ type runState struct {
 	// waking the controller.
 	draining bool
 	err      error
+	// Preemption state, nil/empty with PreemptOff configured so the off
+	// path carries no behavior change: resume maps a preempted job's ID
+	// to its checkpoint for the re-admission pass, rescued marks jobs
+	// whose queueing triggered a rescue preemption (their on-time finish
+	// increments RescuedDeadlines), and exported collects preempted jobs
+	// awaiting federation re-routing (TakePreempted).
+	resume   map[int]*resumeState
+	rescued  map[int]bool
+	exported []PreemptedJob
 }
 
 // Run executes the jobs to completion and returns their results ordered
@@ -462,6 +496,10 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 		budget:          make([]int, ct.cfg.Cloud.NumQPUs()),
 		nextRound:       math.NaN(),
 		tickAt:          math.NaN(),
+	}
+	if ct.cfg.Preempt != PreemptOff {
+		st.resume = make(map[int]*resumeState)
+		st.rescued = make(map[int]bool)
 	}
 	first := math.Inf(1)
 	for _, j := range jobs {
@@ -668,12 +706,18 @@ func (st *runState) tick() {
 		}
 		finished := aj.state.JCT()
 		res := st.results[aj.job.ID]
-		res.PlacedAt = aj.placedAt
+		res.PlacedAt = aj.firstPlacedAt
 		res.Finished = finished
 		res.JCT = finished - aj.job.Arrival
-		res.WaitTime = aj.placedAt - aj.job.Arrival
+		res.WaitTime = aj.firstPlacedAt - aj.job.Arrival
 		st.releases = append(st.releases, release{at: finished, placement: aj.placement})
 		st.setStatus(aj.job.ID, StatusCompleted)
+		if st.rescued != nil && st.rescued[aj.job.ID] {
+			delete(st.rescued, aj.job.ID)
+			if aj.job.Deadline > 0 && finished <= aj.job.Deadline {
+				ct.preempt.RescuedDeadlines++
+			}
+		}
 		if finished > st.maxFinished {
 			st.maxFinished = finished
 		}
@@ -682,6 +726,7 @@ func (st *runState) tick() {
 	}
 	st.active = remaining
 
+	st.maybePreempt(t)
 	st.scheduleNext(t)
 }
 
@@ -713,7 +758,12 @@ func (st *runState) scheduleNext(t float64) {
 		}
 		if !math.IsInf(next, 1) {
 			st.requestTick(next)
-		} else if len(st.queue) > 0 && st.pendingArrivals == 0 {
+		} else if len(st.queue) > 0 && st.pendingArrivals == 0 && math.IsNaN(st.tickAt) {
+			// The tickAt guard covers preemption's same-instant re-admission
+			// tick: the queue holds jobs a committed preemption just made
+			// placeable, not jobs that can never be placed. Without
+			// preemption no tick is ever pending here, so the guard is
+			// vacuous on the off path.
 			// Nothing active, nothing maturing, nothing still to arrive:
 			// the queued jobs can never be placed. The one-shot Run
 			// aborts; a live controller fails the jobs and keeps serving.
@@ -802,13 +852,29 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 			waiting = append(waiting, j)
 			continue
 		}
-		if ct.cfg.Mode == WFQMode {
+		// A preempted job re-entering admission resumes instead of
+		// restarting: its checkpoint replays onto the fresh placement, it
+		// keeps its original first-placement timestamp, and its WFQ
+		// virtual-clock charge from the first placement stands (resuming
+		// is not new service, so the tenant is not billed twice).
+		var rs *resumeState
+		if st != nil && st.resume != nil {
+			rs = st.resume[j.ID]
+		}
+		if ct.cfg.Mode == WFQMode && rs == nil {
 			// Bill only what was actually served: jobs bounced back to
 			// waiting must not inflate their tenant's virtual service.
 			ct.chargeWFQ(j)
 		}
 		state := ct.takeJobState(dag, prio, t)
-		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t})
+		first := t
+		if rs != nil {
+			state.ApplyCheckpoint(rs.cp, t)
+			first = rs.firstPlacedAt
+			delete(st.resume, j.ID)
+			ct.preempt.Resumes++
+		}
+		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t, firstPlacedAt: first})
 		results[j.ID].RemoteGates = dag.Len()
 		results[j.ID].Placement = pl
 		st.setStatus(j.ID, StatusRunning)

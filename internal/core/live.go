@@ -125,6 +125,10 @@ func NewLiveController(cfg Config) (*LiveController, error) {
 		live:           true,
 		status:         make(map[int]JobStatus),
 	}
+	if ct.cfg.Preempt != PreemptOff {
+		st.resume = make(map[int]*resumeState)
+		st.rescued = make(map[int]bool)
+	}
 	return &LiveController{ct: ct, st: st}, nil
 }
 
@@ -158,6 +162,70 @@ func (lc *LiveController) Submit(j *Job) error {
 	lc.st.eng.SchedulePriority(at, func() { lc.st.arrive(j) })
 	return nil
 }
+
+// SubmitResume injects a preempted job exported by another controller
+// (TakePreempted on the preempting shard): the job re-enters admission
+// under its original ID and arrival stamp, and its checkpoint replays
+// onto whatever placement admission finds here — by construction a
+// strict superset of nothing, so execution only moves forward. Like
+// Submit, the arrival event fires at max(Job.Arrival, Now()).
+func (lc *LiveController) SubmitResume(pj PreemptedJob) error {
+	if lc.drained {
+		return ErrDrained
+	}
+	if lc.st.err != nil {
+		return lc.st.err
+	}
+	j := pj.Job
+	if err := validateJob(j, lc.st.results); err != nil {
+		return err
+	}
+	if lc.st.resume == nil {
+		lc.st.resume = make(map[int]*resumeState)
+	}
+	lc.st.resume[j.ID] = &resumeState{cp: pj.cp, firstPlacedAt: pj.firstPlacedAt}
+	at := j.Arrival
+	if now := lc.st.eng.Now(); at < now {
+		at = now
+	}
+	lc.jobs = append(lc.jobs, j)
+	lc.st.status[j.ID] = StatusPending
+	lc.st.pendingArrivals++
+	lc.st.eng.SchedulePriority(at, func() { lc.st.arrive(j) })
+	return nil
+}
+
+// TakePreempted hands over the jobs preempted since the last call (only
+// a controller configured with ExportPreempted accumulates any). The
+// controller forgets them completely — result slots, status, and
+// submission-order entries are gone, as if the jobs were never
+// submitted here — so the federation layer can SubmitResume each one on
+// whichever shard its router picks, including this one.
+func (lc *LiveController) TakePreempted() []PreemptedJob {
+	out := lc.st.exported
+	if len(out) == 0 {
+		return nil
+	}
+	lc.st.exported = nil
+	gone := make(map[int]bool, len(out))
+	for _, pj := range out {
+		gone[pj.Job.ID] = true
+	}
+	kept := lc.jobs[:0]
+	for _, j := range lc.jobs {
+		if !gone[j.ID] {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(lc.jobs); i++ {
+		lc.jobs[i] = nil
+	}
+	lc.jobs = kept
+	return out
+}
+
+// PreemptStats reports the controller's cumulative preemption counters.
+func (lc *LiveController) PreemptStats() PreemptStats { return lc.ct.preempt }
 
 // begin latches the first clock advance and emits the recorder's
 // opening sample when the horizon starts idle — the same "idle span

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudqc/internal/sched"
+)
+
+// PreemptPolicy selects whether and why the controller preempts running
+// jobs at EPR-round boundaries. Preemption is checkpoint-based: a victim
+// is snapshotted (sched.Checkpoint), its computing qubits are released,
+// and it re-enters the admission queue as a resume-job that replays the
+// checkpoint onto a fresh compile — a plan-cache hit when the cloud is
+// back in a seen free state, a correct cold compile otherwise. Victims
+// keep their job ID, tenant billing (WFQ virtual-clock position), and
+// original admission wait; only their execution stretches.
+type PreemptPolicy int
+
+const (
+	// PreemptOff disables preemption: placements are final, execution is
+	// run-to-completion, and the controller is bit-identical to the
+	// pre-preemption code on every observable (results, rounds, events,
+	// recorder series) — see TestPreemptionOffDifferential.
+	PreemptOff PreemptPolicy = iota
+	// PreemptRescue preempts only to rescue deadlines: a queued job with
+	// a live deadline may displace running jobs whose deadlines are
+	// strictly later (no deadline sorts as infinitely late). Victims are
+	// chosen lowest-weight first, most slack first.
+	PreemptRescue
+	// PreemptPriority preempts on tenant weight: a queued job may
+	// displace running jobs of strictly lower weight, independent of
+	// deadlines.
+	PreemptPriority
+)
+
+// String names the policy as the -preempt flag spells it.
+func (p PreemptPolicy) String() string {
+	switch p {
+	case PreemptOff:
+		return "off"
+	case PreemptRescue:
+		return "rescue"
+	case PreemptPriority:
+		return "priority"
+	default:
+		return fmt.Sprintf("PreemptPolicy(%d)", int(p))
+	}
+}
+
+// ParsePreempt maps a CLI policy name to its PreemptPolicy.
+func ParsePreempt(s string) (PreemptPolicy, error) {
+	switch s {
+	case "", "off":
+		return PreemptOff, nil
+	case "rescue":
+		return PreemptRescue, nil
+	case "priority":
+		return PreemptPriority, nil
+	default:
+		return 0, fmt.Errorf("core: unknown preemption policy %q (want off, rescue, or priority)", s)
+	}
+}
+
+// PreemptStats counts preemption activity across a run (or a live
+// controller's lifetime): jobs checkpointed off the cloud, resume-jobs
+// re-placed, and rescued deadlines — preemption-triggering jobs that
+// went on to finish within their deadline.
+type PreemptStats struct {
+	Preemptions      int `json:"preemptions"`
+	Resumes          int `json:"resumes"`
+	RescuedDeadlines int `json:"rescued_deadlines"`
+}
+
+// Add accumulates other into s (federation-level aggregation).
+func (s *PreemptStats) Add(other PreemptStats) {
+	s.Preemptions += other.Preemptions
+	s.Resumes += other.Resumes
+	s.RescuedDeadlines += other.RescuedDeadlines
+}
+
+// PreemptStats reports the preemption counters of the current run (reset
+// by each Run/RunLockStep call; monotone over a LiveController's life).
+func (ct *Controller) PreemptStats() PreemptStats { return ct.preempt }
+
+// PreemptedJob is a preempted job exported for resumption elsewhere: the
+// federation layer collects these from a shard (TakePreempted) and
+// re-routes them, possibly to a different shard, via SubmitResume. The
+// resume payload is opaque outside core.
+type PreemptedJob struct {
+	Job           *Job
+	cp            sched.Checkpoint
+	firstPlacedAt float64
+}
+
+// resumeState is the controller-internal half of a preempted job: admit
+// replays the checkpoint onto the job's next placement and restores its
+// original admission timestamps.
+type resumeState struct {
+	cp            sched.Checkpoint
+	firstPlacedAt float64
+}
+
+// maybePreempt runs the configured preemption policy at a round
+// boundary: pick the neediest queued job (the trigger), and if a set of
+// strictly-less-entitled running victims can be checkpointed to make it
+// fit, commit the swap. At most one trigger commits per pass — the
+// resulting same-instant tick re-runs admission and, if the queue still
+// warrants it, the next pass preempts again. Never called with
+// PreemptOff configured.
+func (st *runState) maybePreempt(t float64) {
+	ct := st.ct
+	if ct.cfg.Preempt == PreemptOff || len(st.active) == 0 || len(st.queue) == 0 {
+		return
+	}
+	triggers := make([]*Job, 0, len(st.queue))
+	for _, j := range st.queue {
+		if j.Arrival > t {
+			continue
+		}
+		if ct.cfg.Preempt == PreemptRescue && !(j.Deadline > t) {
+			// Rescue only fires for live deadlines: a job without one (or
+			// whose deadline already passed) gains nothing from displacing
+			// others.
+			continue
+		}
+		triggers = append(triggers, j)
+	}
+	if len(triggers) == 0 {
+		return
+	}
+	// Neediest first: earliest deadline under rescue, heaviest weight
+	// under priority; (arrival, ID) tie-breaks keep the order
+	// deterministic.
+	sort.SliceStable(triggers, func(i, k int) bool {
+		a, b := triggers[i], triggers[k]
+		if ct.cfg.Preempt == PreemptRescue {
+			if da, db := deadlineOf(a), deadlineOf(b); da != db {
+				return da < db
+			}
+		} else if wa, wb := a.weight(), b.weight(); wa != wb {
+			return wa > wb
+		}
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.ID < b.ID
+	})
+	for _, trig := range triggers {
+		if st.tryPreemptFor(trig, t) {
+			return
+		}
+	}
+}
+
+// victimEligible reports whether running job v may be displaced by
+// queued trigger trig. Both orderings are strict, so preemption can
+// never cycle: a resumed victim is by construction less entitled than
+// its trigger and cannot later displace it.
+func victimEligible(policy PreemptPolicy, trig, v *Job) bool {
+	switch policy {
+	case PreemptRescue:
+		return deadlineOf(v) > deadlineOf(trig)
+	case PreemptPriority:
+		return v.weight() < trig.weight()
+	default:
+		return false
+	}
+}
+
+// tryPreemptFor probes whether checkpointing eligible victims frees
+// enough capacity to place trig, releasing victims one at a time
+// (cheapest entitlement first) and re-compiling trig after each. The
+// probe is exact: it uses the same compile() admission will, so success
+// here guarantees the follow-up tick places trig — and the probe's
+// compile warmed the plan cache, making that placement a cache hit. On
+// failure every released reservation is restored and the cloud is
+// byte-identical to before the call.
+func (st *runState) tryPreemptFor(trig *Job, t float64) bool {
+	ct := st.ct
+	var cands []*activeJob
+	for _, aj := range st.active {
+		// placedAt < t bounds work per instant: a job placed by this very
+		// tick (or a resume placed moments ago at t) is not re-eligible
+		// until time advances, so a pass cannot thrash at one instant.
+		if !(aj.placedAt < t) {
+			continue
+		}
+		if !victimEligible(ct.cfg.Preempt, trig, aj.job) {
+			continue
+		}
+		// Only between-rounds states are preemptible: a victim holding
+		// partial multi-hop entanglement has in-flight remote state with
+		// no placement-independent checkpoint.
+		if !aj.state.Checkpointable() {
+			continue
+		}
+		cands = append(cands, aj)
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	// Cheapest victims first: lowest weight, then most slack (latest
+	// deadline), then newest (highest ID) — descending ID also makes the
+	// order deterministic.
+	sort.SliceStable(cands, func(i, k int) bool {
+		a, b := cands[i].job, cands[k].job
+		if wa, wb := a.weight(), b.weight(); wa != wb {
+			return wa < wb
+		}
+		if da, db := deadlineOf(a), deadlineOf(b); da != db {
+			return da > db
+		}
+		return a.ID > b.ID
+	})
+	released := 0
+	fits := false
+	for _, aj := range cands {
+		aj.placement.Release(ct.cfg.Cloud)
+		released++
+		if _, _, _, err := ct.compile(trig); err == nil {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		// Rollback: restore exactly the capacity just released. Reserve
+		// cannot fail here — each placement goes back onto QPUs it was
+		// occupying a moment ago.
+		for i := released - 1; i >= 0; i-- {
+			if err := cands[i].placement.Reserve(ct.cfg.Cloud); err != nil {
+				st.err = fmt.Errorf("core: preemption rollback failed for job %d: %w", cands[i].job.ID, err)
+				return false
+			}
+		}
+		return false
+	}
+	for _, aj := range cands[:released] {
+		st.preemptVictim(aj, t)
+	}
+	remaining := st.active[:0]
+	for _, aj := range st.active {
+		if aj.state != nil {
+			remaining = append(remaining, aj)
+		}
+	}
+	st.active = remaining
+	if ct.cfg.Preempt == PreemptRescue {
+		st.rescued[trig.ID] = true
+	}
+	// The same-instant tick re-runs admission on the freed capacity; the
+	// probe guarantees trig places there.
+	st.capacityChanged = true
+	st.requestTick(t)
+	return true
+}
+
+// preemptVictim checkpoints one victim whose reservations the probe
+// already released: snapshot its completed remote gates, retire its
+// execution state to the pool, and either re-enqueue it locally as a
+// resume-job or export it for the federation layer to re-route. The
+// victim keeps its ID, arrival, and first-placement timestamp, so its
+// eventual result reports admission wait only (requeue time lands in
+// JCT, not WaitTime).
+func (st *runState) preemptVictim(aj *activeJob, t float64) {
+	ct := st.ct
+	ct.preempt.Preemptions++
+	cp := aj.state.Checkpoint()
+	ct.releaseJobState(aj.state)
+	aj.state = nil
+	id := aj.job.ID
+	if ct.cfg.ExportPreempted && st.live && !st.draining {
+		// Federation re-routes the resume (possibly to another shard):
+		// this shard forgets the job entirely — result slot, status, and
+		// ID reservation — so SubmitResume can re-validate it wherever it
+		// lands.
+		delete(st.results, id)
+		delete(st.status, id)
+		st.exported = append(st.exported, PreemptedJob{Job: aj.job, cp: cp, firstPlacedAt: aj.firstPlacedAt})
+		return
+	}
+	st.resume[id] = &resumeState{cp: cp, firstPlacedAt: aj.firstPlacedAt}
+	st.queue = append(st.queue, aj.job)
+	st.setStatus(id, StatusQueued)
+}

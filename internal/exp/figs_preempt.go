@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+// preemptArm is one line of the preemption figure: a preemption policy
+// layered under EDF admission. Admission is held fixed across arms so a
+// cell difference isolates preemption itself, not the queue order.
+type preemptArm struct {
+	name   string
+	policy core.PreemptPolicy
+}
+
+// preemptArms are the figure's three arms: run-to-completion (the
+// pre-preemption controller), deadline rescue, and priority preemption.
+func preemptArms() []preemptArm {
+	return []preemptArm{
+		{"Off", core.PreemptOff},
+		{"Rescue", core.PreemptRescue},
+		{"Priority", core.PreemptPriority},
+	}
+}
+
+// PreemptRow is one (workload × arrival rate × preemption policy) cell:
+// SLO attainment and fairness, stream statistics (the p99 JCT axis of
+// the figure), and the preemption counters that explain them.
+type PreemptRow struct {
+	Workload         string
+	MeanInterarrival float64
+	Policy           string
+	SLO              metrics.SLOStats
+	Stream           metrics.OnlineStats
+	Preempt          core.PreemptStats
+}
+
+// preemptRep is one (cell × rep) task's raw outcome.
+type preemptRep struct {
+	outcomes    []metrics.JobOutcome
+	jcts, waits []float64
+	failed      int
+	makespan    float64
+	preempt     core.PreemptStats
+}
+
+// Preemption traces SLO attainment and p99 JCT against load for
+// preemption off/rescue/priority: each cell runs the three-tenant mix
+// (weights 1/2/4, deadlines from circuit depth × slack) under EDF
+// admission, varying only the preemption policy. At high load the
+// rescue arm's checkpoint-and-displace recovers deadlines a
+// run-to-completion controller must miss — the figure the tentpole's
+// acceptance criterion pins (see TestRescueImprovesAttainment).
+//
+// Seeding follows the package convention: the per-task seed depends on
+// (workload, rep) only, so every load level and every policy replays
+// identical tenant mixes.
+func Preemption(o Options, process string, perTenant int, interarrivals []float64) ([]PreemptRow, error) {
+	o = o.withDefaults()
+	if perTenant == 0 {
+		perTenant = 4
+	}
+	if perTenant < 0 {
+		return nil, fmt.Errorf("exp: negative per-tenant stream size %d", perTenant)
+	}
+	if len(interarrivals) == 0 {
+		interarrivals = []float64{300, 1000, 4000}
+	}
+	workloads := workload.All()
+	arms := preemptArms()
+	points := len(workloads) * len(interarrivals) * len(arms)
+	reps, err := runIndexed(o.workers(), points*o.Reps, func(i int) (preemptRep, error) {
+		pt, rep := i/o.Reps, i%o.Reps
+		wi := pt / (len(interarrivals) * len(arms))
+		ii := pt / len(arms) % len(interarrivals)
+		ai := pt % len(arms)
+		seed := taskSeed(o.Seed, wi, rep)
+		mix := workload.DefaultTenantMix(workloads[wi], perTenant, process, interarrivals[ii])
+		jobs, err := workload.MultiTenant(mix, seed)
+		if err != nil {
+			return preemptRep{}, err
+		}
+		pCfg := place.DefaultConfig()
+		pCfg.Seed = seed
+		ct, err := core.NewController(core.Config{
+			Cloud:   o.cloudFor(),
+			Placer:  place.NewCloudQC(pCfg),
+			Model:   o.model(),
+			Mode:    core.EDFMode,
+			Seed:    seed,
+			Preempt: arms[ai].policy,
+		})
+		if err != nil {
+			return preemptRep{}, err
+		}
+		results, err := ct.Run(jobs)
+		if err != nil {
+			return preemptRep{}, fmt.Errorf("preempt %s %s ia=%v rep %d: %w",
+				workloads[wi].Name, arms[ai].name, interarrivals[ii], rep, err)
+		}
+		r := preemptRep{outcomes: core.Outcomes(results), preempt: ct.PreemptStats()}
+		for _, res := range results {
+			if res.Failed {
+				r.failed++
+				continue
+			}
+			r.jcts = append(r.jcts, res.JCT)
+			r.waits = append(r.waits, res.WaitTime)
+			if res.Finished > r.makespan {
+				r.makespan = res.Finished
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PreemptRow, 0, points)
+	for pt := 0; pt < points; pt++ {
+		wi := pt / (len(interarrivals) * len(arms))
+		ii := pt / len(arms) % len(interarrivals)
+		ai := pt % len(arms)
+		var outcomes []metrics.JobOutcome
+		var jcts, waits []float64
+		failed := 0
+		var makespan float64
+		var ps core.PreemptStats
+		for rep := 0; rep < o.Reps; rep++ {
+			r := reps[pt*o.Reps+rep]
+			outcomes = append(outcomes, r.outcomes...)
+			jcts = append(jcts, r.jcts...)
+			waits = append(waits, r.waits...)
+			failed += r.failed
+			makespan += r.makespan
+			ps.Add(r.preempt)
+		}
+		rows = append(rows, PreemptRow{
+			Workload:         workloads[wi].Name,
+			MeanInterarrival: interarrivals[ii],
+			Policy:           arms[ai].name,
+			SLO:              metrics.AggregateSLO(outcomes),
+			Stream:           metrics.AggregateOnline(jcts, waits, failed, makespan),
+			Preempt:          ps,
+		})
+	}
+	return rows, nil
+}
+
+// RenderPreemption renders preemption rows grouped by workload and
+// arrival rate: the attainment and p99 JCT columns are the figure's two
+// y-axes, the counter columns its annotations.
+func RenderPreemption(rows []PreemptRow) string {
+	headers := []string{"Workload", "Interarrival", "Preempt", "Done", "Fail",
+		"Attain", "Jain", "MeanJCT", "P99JCT", "Preempted", "Resumed", "Rescued"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload,
+			stats.F(r.MeanInterarrival),
+			r.Policy,
+			fmt.Sprintf("%d", r.Stream.Completed),
+			fmt.Sprintf("%d", r.Stream.Failed),
+			fmtFrac(r.SLO.Attainment),
+			fmtFrac(r.SLO.Fairness),
+			stats.F(r.Stream.MeanJCT),
+			stats.F(r.Stream.P99JCT),
+			fmt.Sprintf("%d", r.Preempt.Preemptions),
+			fmt.Sprintf("%d", r.Preempt.Resumes),
+			fmt.Sprintf("%d", r.Preempt.RescuedDeadlines),
+		})
+	}
+	return stats.Table(headers, out)
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"cloudqc/internal/core"
+)
+
+// TestRescueImprovesAttainment is the preemption figure's acceptance
+// criterion: under load, the deadline-rescue arm strictly improves SLO
+// attainment over run-to-completion for at least one workload, the
+// rescue arm's counters account for the improvement, and arms never
+// lose jobs. The grid is the smallest one that exhibits the effect
+// (2 jobs/tenant, one arrival rate), deterministic by seeding.
+func TestRescueImprovesAttainment(t *testing.T) {
+	o := Defaults()
+	o.Reps = 1
+	rows, err := Preemption(o, "poisson", 2, []float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads × 1 rate × 3 arms.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	byArm := map[string]map[string]PreemptRow{}
+	for _, r := range rows {
+		if byArm[r.Workload] == nil {
+			byArm[r.Workload] = map[string]PreemptRow{}
+		}
+		byArm[r.Workload][r.Policy] = r
+		if r.Stream.Completed+r.Stream.Failed != 6 {
+			t.Fatalf("row %s/%s accounts for %d jobs, want 6",
+				r.Workload, r.Policy, r.Stream.Completed+r.Stream.Failed)
+		}
+		if r.Policy == "Off" && r.Preempt != (core.PreemptStats{}) {
+			t.Fatalf("off arm counted preemptions: %+v", r)
+		}
+		if r.Preempt.Resumes != r.Preempt.Preemptions {
+			t.Fatalf("row %s/%s leaked a preempted job: %+v", r.Workload, r.Policy, r.Preempt)
+		}
+	}
+	improved := false
+	for wl, arms := range byArm {
+		off, rescue := arms["Off"], arms["Rescue"]
+		if rescue.SLO.Attainment > off.SLO.Attainment {
+			improved = true
+			if rescue.Preempt.RescuedDeadlines == 0 {
+				t.Fatalf("%s: attainment improved (%.2f > %.2f) without a rescued deadline: %+v",
+					wl, rescue.SLO.Attainment, off.SLO.Attainment, rescue.Preempt)
+			}
+		}
+	}
+	if !improved {
+		t.Fatalf("rescue never strictly improved attainment over off:\n%s", RenderPreemption(rows))
+	}
+	text := RenderPreemption(rows)
+	for _, col := range []string{"Preempt", "Attain", "P99JCT", "Rescued"} {
+		if !strings.Contains(text, col) {
+			t.Fatalf("rendered table missing %q:\n%s", col, text)
+		}
+	}
+}

@@ -13,11 +13,13 @@ import (
 )
 
 // sloMethod is one line of the SLO figure: an admission mode paired
-// with an EPR allocation policy.
+// with an EPR allocation policy factory. Policies are built per task —
+// the tenant-weighted allocator carries reusable scratch, so parallel
+// tasks must not share one instance.
 type sloMethod struct {
 	name   string
 	mode   core.Mode
-	policy sched.Policy
+	policy func() sched.Policy
 }
 
 // sloMethods are the figure's schedulers: the two CloudQC baselines,
@@ -25,12 +27,13 @@ type sloMethod struct {
 // combined with the tenant-weighted EPR allocator (starvation bounded
 // at both layers).
 func sloMethods() []sloMethod {
+	cloudqc := func() sched.Policy { return sched.CloudQCPolicy{} }
 	return []sloMethod{
-		{"Batch", core.BatchMode, sched.CloudQCPolicy{}},
-		{"FIFO", core.FIFOMode, sched.CloudQCPolicy{}},
-		{"EDF", core.EDFMode, sched.CloudQCPolicy{}},
-		{"WFQ", core.WFQMode, sched.CloudQCPolicy{}},
-		{"WFQ+TW", core.WFQMode, sched.TenantWeightedPolicy{}},
+		{"Batch", core.BatchMode, cloudqc},
+		{"FIFO", core.FIFOMode, cloudqc},
+		{"EDF", core.EDFMode, cloudqc},
+		{"WFQ", core.WFQMode, cloudqc},
+		{"WFQ+TW", core.WFQMode, func() sched.Policy { return sched.NewTenantWeightedPolicy() }},
 	}
 }
 
@@ -103,7 +106,7 @@ func SLO(o Options, process string, perTenant int, interarrivals []float64) ([]S
 		ct, err := core.NewController(core.Config{
 			Cloud:  o.cloudFor(),
 			Placer: place.NewCloudQC(pCfg),
-			Policy: methods[mi].policy,
+			Policy: methods[mi].policy(),
 			Model:  o.model(),
 			Mode:   methods[mi].mode,
 			Seed:   seed,

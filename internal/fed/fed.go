@@ -126,6 +126,11 @@ func New(cfg Config) (*Federation, error) {
 		scfg.Cloud = cfg.Clouds[i]
 		scfg.Seed = ShardSeed(cfg.Shard.Seed, i)
 		scfg.SharedWFQ = f.wfq
+		// Multi-shard federations take custody of preempted jobs so the
+		// router can re-place a resume on any shard; a single shard
+		// requeues locally, keeping the 1-shard ≡ bare-controller
+		// differential intact.
+		scfg.ExportPreempted = n > 1
 		if cfg.Recorders != nil {
 			scfg.Recorder = cfg.Recorders[i]
 		}
@@ -256,6 +261,25 @@ func (f *Federation) StepUntil(t float64) error {
 			return fmt.Errorf("fed: shard %d: %w", i, err)
 		}
 	}
+	return f.rehome()
+}
+
+// rehome re-routes jobs the shards preempted and exported during the
+// last step: each goes back through the admission router — whose
+// affinity table re-pins the job's tenant+fingerprint to wherever the
+// resume lands, so the pin keeps naming the shard holding the warm
+// plan-cache entry — and re-enters that shard under its original ID.
+// The resume's arrival event fires on the target shard's next step.
+func (f *Federation) rehome() error {
+	for _, s := range f.shards {
+		for _, pj := range s.Controller().TakePreempted() {
+			tgt := f.router.route(pj.Job)
+			if err := f.shards[tgt].Controller().SubmitResume(pj); err != nil {
+				return fmt.Errorf("fed: resuming job %d on shard %d: %w", pj.Job.ID, tgt, err)
+			}
+			f.shardOf[pj.Job.ID] = tgt
+		}
+	}
 	return nil
 }
 
@@ -270,6 +294,13 @@ func (f *Federation) Drain() ([]*core.JobResult, error) {
 	}
 	f.drained = true
 	var firstErr error
+	// Jobs preempted on the final step are still awaiting re-routing;
+	// hand them to their shards before the backlog runs dry. (During the
+	// drain itself shards requeue preemptions locally rather than
+	// exporting, so nothing new accumulates below.)
+	if err := f.rehome(); err != nil {
+		firstErr = err
+	}
 	for i, s := range f.shards {
 		if _, err := s.Controller().Drain(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("fed: shard %d: %w", i, err)
@@ -358,6 +389,17 @@ func (f *Federation) PlanCacheStats() plan.Stats {
 		m.Enabled = m.Enabled || ps.Enabled
 	}
 	return m
+}
+
+// PreemptStats sums the shards' preemption counters: a job preempted on
+// one shard and resumed on another counts its preemption there and its
+// resume here, so federation-wide Preemptions ≥ Resumes always holds.
+func (f *Federation) PreemptStats() core.PreemptStats {
+	var ps core.PreemptStats
+	for _, s := range f.shards {
+		ps.Add(s.Controller().PreemptStats())
+	}
+	return ps
 }
 
 // ConfigurePlanCache re-bounds every shard's plan cache (see

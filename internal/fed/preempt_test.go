@@ -1,0 +1,108 @@
+package fed
+
+import (
+	"testing"
+
+	"cloudqc/internal/circuit"
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/qlib"
+)
+
+// TestFederationCrossShardResumeKeepsID: a job preempted on shard 0 is
+// rehomed by the affinity router to shard 1 and resumes there under its
+// original ID, visible through ShardOf, Status, and the global Results
+// order. The shards are sized asymmetrically so the scenario is forced:
+// the 127-qubit trigger only fits shard 0, and at rehome time shard 0
+// is the busier shard, so the spillover rule moves the 39-qubit victim
+// to idle shard 1.
+func TestFederationCrossShardResumeKeepsID(t *testing.T) {
+	cfg := shardTemplate(7, core.EDFMode)
+	cfg.Preempt = core.PreemptRescue
+	f, err := New(Config{
+		Shard: cfg,
+		Clouds: []*cloud.Cloud{
+			cloud.NewRandom(8, 0.3, 20, 5, 1), // 160 computing qubits
+			cloud.New(graph.Path(3), 20, 5),   // 60: never fits the trigger
+		},
+		SpillDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := &core.Job{ID: 0, Circuit: mustCircuit(t, "qugan_n39"), Tenant: 0}
+	if err := f.Submit(victim); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := f.ShardOf(0); s != 0 {
+		t.Fatalf("victim started on shard %d, want 0", s)
+	}
+	if err := f.StepUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	// 39 + 127 > 160: the trigger queues on shard 0 (the only shard that
+	// fits it) until rescue preempts the victim.
+	trigger := &core.Job{ID: 1, Circuit: qlib.GHZ(127), Tenant: 1, Arrival: 10, Deadline: 1e9}
+	if err := f.Submit(trigger); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step in small increments: rehoming happens at step boundaries, and
+	// the router only spills the resume while shard 0 is still busy
+	// running the trigger.
+	moved := false
+	for step := 10.0; step <= 2e5 && !moved; step += 50 {
+		if err := f.StepUntil(step); err != nil {
+			t.Fatal(err)
+		}
+		if s, ok := f.ShardOf(0); ok && s == 1 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("victim never rehomed to shard 1 (preempt stats %+v)", f.PreemptStats())
+	}
+	if st := f.Status(0); st == core.StatusUnknown || st == core.StatusFailed {
+		t.Fatalf("rehomed job status = %v mid-resume", st)
+	}
+
+	results, err := f.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := f.PreemptStats()
+	if ps.Preemptions == 0 || ps.Resumes != ps.Preemptions {
+		t.Fatalf("federated preempt stats %+v", ps)
+	}
+	// Results stay in global submission order under the original IDs.
+	if len(results) != 2 || results[0].Job.ID != 0 || results[1].Job.ID != 1 {
+		t.Fatalf("results lost submission order or ids: %+v", results)
+	}
+	for _, r := range results {
+		if r.Failed {
+			t.Fatalf("job %d failed: %+v", r.Job.ID, *r)
+		}
+	}
+	// The cross-shard resume keeps admission-wait bookkeeping: placed at
+	// t=0 on shard 0, so wait stays 0 even though execution moved.
+	if results[0].WaitTime != 0 || results[0].PlacedAt != 0 {
+		t.Fatalf("rehomed victim PlacedAt=%v WaitTime=%v, want 0/0",
+			results[0].PlacedAt, results[0].WaitTime)
+	}
+	// Outcomes carries the same identity through the metrics layer.
+	outs := core.Outcomes(results)
+	if len(outs) != 2 || outs[0].Tenant != 0 || outs[1].Tenant != 1 {
+		t.Fatalf("outcomes lost tenant identity: %+v", outs)
+	}
+}
+
+func mustCircuit(t *testing.T, name string) *circuit.Circuit {
+	t.Helper()
+	c, err := qlib.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,76 @@
+package sched
+
+// Checkpoint is a consistent snapshot of one job's execution progress,
+// taken at an EPR-round boundary: the set of remote gates that have
+// fully completed, identified by their position in the original circuit
+// rather than their remote-DAG node id. Identifying gates by circuit
+// position makes the checkpoint placement-independent — a preempted job
+// may resume under a different qubit→QPU assignment, whose remote DAG
+// has different node ids (and possibly different membership: a gate
+// that was remote may become local and vice versa), and the checkpoint
+// still replays correctly.
+//
+// Gates that executed locally under the old placement are not recorded:
+// their latency is folded into the DAG's per-node lags and tails, so a
+// resume under a placement that turns them remote re-models them
+// conservatively (the job re-earns those completions). Preemption can
+// therefore only lengthen a job's completion time, never shorten it.
+type Checkpoint struct {
+	// Done lists completed remote gates' circuit gate indexes in
+	// ascending order (remote-DAG nodes are in program order, so the
+	// scan below emits them sorted).
+	Done []int
+}
+
+// Checkpointable reports whether the state can be checkpointed right
+// now: no node may hold partial multi-hop entanglement. A node that has
+// attempted and entangled some but not all of its hops is "in flight" —
+// its accumulated link-level entanglement has no placement-independent
+// representation, so preemption must wait for the gate to either finish
+// or reach a round boundary with nothing banked. Single-hop gates are
+// always checkpointable between rounds: a failed attempt leaves no
+// partial state (hopsLeft still equals the hop count).
+func (s *JobState) Checkpointable() bool {
+	for i, n := 0, s.dag.Len(); i < n; i++ {
+		if s.attempted[i] && s.hopsLeft[i] > 0 && s.hopsLeft[i] < s.dag.Nodes[i].Hops() {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkpoint captures the completed remote gates. Callers should check
+// Checkpointable first; the snapshot itself is always well-formed, it
+// just silently drops in-flight partial entanglement otherwise.
+func (s *JobState) Checkpoint() Checkpoint {
+	done := make([]int, 0, s.dag.Len()-s.remaining)
+	for i, n := 0, s.dag.Len(); i < n; i++ {
+		if s.hopsLeft[i] == 0 {
+			done = append(done, s.dag.Nodes[i].GateIndex)
+		}
+	}
+	return Checkpoint{Done: done}
+}
+
+// ApplyCheckpoint replays a prior run's completed remote gates onto a
+// freshly reinitialized state for a (possibly different) placement of
+// the same circuit: every node of the new DAG whose gate index appears
+// in the checkpoint completes immediately at time at — the resume
+// instant — unblocking its successors exactly as live completion would.
+// Checkpointed gates that are local under the new placement simply have
+// no node to mark and are skipped; their cost is already folded into
+// the new DAG's lags. Must be called before any Attempt on s.
+func (s *JobState) ApplyCheckpoint(cp Checkpoint, at float64) {
+	k := 0
+	for i, n := 0, s.dag.Len(); i < n && k < len(cp.Done); i++ {
+		gi := s.dag.Nodes[i].GateIndex
+		for k < len(cp.Done) && cp.Done[k] < gi {
+			k++ // checkpointed gate is local under the new placement
+		}
+		if k < len(cp.Done) && cp.Done[k] == gi {
+			s.hopsLeft[i] = 0
+			s.complete(i, at)
+			k++
+		}
+	}
+}

@@ -1,9 +1,6 @@
 package sched
 
-import (
-	"math/rand"
-	"sort"
-)
+import "math/rand"
 
 // TenantWeightedPolicy splits each round's communication-qubit budget
 // across tenants before falling back to CloudQC's per-gate priority
@@ -26,42 +23,112 @@ import (
 // With a single tenant the deficit round-robin degenerates to "one pair
 // per gate in priority order", making the policy bit-identical to
 // CloudQCPolicy (see TestTenantWeightedSingleTenantMatchesCloudQC).
-type TenantWeightedPolicy struct{}
+//
+// The policy carries per-round scratch behind a stable tenant→slot
+// table (the same flattening wfqOrder's admission path uses): grouping,
+// deficits, and cursors are slot-indexed slices reused across rounds,
+// so a round costs zero map operations beyond the slot lookups and zero
+// allocations once the scratch is warm. Construct instances with
+// NewTenantWeightedPolicy; the scratch makes a policy value stateful
+// (though rounds are independent — only capacity persists), so
+// concurrent controllers must not share one.
+type TenantWeightedPolicy struct {
+	// slots maps tenant id → scratch slot, append-only like WFQClock's
+	// table; ids is the inverse. Memory scales with distinct tenants
+	// seen, not rounds.
+	slots map[int]int
+	ids   []int
+	// groups, served, and cursor are the slot-indexed per-round state:
+	// each tenant's priority-ordered requests, normalized service, and
+	// walk position. round lists the slots active this round, sorted by
+	// tenant id so ties keep breaking to the smaller id.
+	groups [][]Request
+	round  []int
+	served []float64
+	cursor []int
+}
+
+// NewTenantWeightedPolicy returns a tenant-weighted allocation policy
+// with cold scratch.
+func NewTenantWeightedPolicy() *TenantWeightedPolicy { return &TenantWeightedPolicy{} }
 
 // Name implements Policy.
-func (TenantWeightedPolicy) Name() string { return "TenantWeighted" }
+func (*TenantWeightedPolicy) Name() string { return "TenantWeighted" }
 
 // Allocate implements Policy.
-func (TenantWeightedPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
+func (p *TenantWeightedPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand) map[NodeKey]int {
 	alloc := make(map[NodeKey]int, len(reqs))
 	sortByPriority(reqs)
 
-	// Group requests by tenant, preserving priority order within each
-	// group; tenants iterate in ascending id for determinism.
-	byTenant := make(map[int][]Request)
+	// Group requests by tenant slot, preserving priority order within
+	// each group.
+	if p.slots == nil {
+		p.slots = make(map[int]int)
+	}
+	groups := p.groups
+	round := p.round[:0]
 	for _, r := range reqs {
-		byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+		s, ok := p.slots[r.Tenant]
+		if !ok {
+			s = len(p.ids)
+			p.slots[r.Tenant] = s
+			p.ids = append(p.ids, r.Tenant)
+			p.served = append(p.served, 0)
+			p.cursor = append(p.cursor, 0)
+		}
+		for len(groups) <= s {
+			groups = append(groups, nil)
+		}
+		if len(groups[s]) == 0 {
+			round = append(round, s)
+		}
+		groups[s] = append(groups[s], r)
 	}
-	tenants := make([]int, 0, len(byTenant))
-	for t := range byTenant {
-		tenants = append(tenants, t)
+	p.groups = groups
+	defer func() {
+		// Release the grouped requests (each holds a Path slice the [:0]
+		// reslice alone would pin) and leave every touched group empty for
+		// the next round's len==0 "new slot" test.
+		for _, s := range round {
+			g := groups[s]
+			for i := range g {
+				g[i] = Request{}
+			}
+			groups[s] = g[:0]
+		}
+		p.round = round[:0]
+	}()
+	// Slots are allocated in first-seen order; insertion-sort this
+	// round's slots by tenant id so the deficit round-robin keeps
+	// iterating tenants in ascending id, exactly as the map-based
+	// implementation's sorted-tenants loop did.
+	for i := 1; i < len(round); i++ {
+		s := round[i]
+		k := i
+		for k > 0 && p.ids[round[k-1]] > p.ids[s] {
+			round[k] = round[k-1]
+			k--
+		}
+		round[k] = s
 	}
-	sort.Ints(tenants)
 
-	// Phase 1: weighted deficit round-robin of first pairs. cursor[t]
-	// walks tenant t's priority-ordered requests; budget only shrinks, so
+	// Phase 1: weighted deficit round-robin of first pairs. cursor[s]
+	// walks tenant s's priority-ordered requests; budget only shrinks, so
 	// a request blocked once stays blocked and the cursor never revisits
 	// it.
-	served := make(map[int]float64, len(tenants))
-	cursor := make(map[int]int, len(tenants))
+	served, cursor := p.served, p.cursor
+	for _, s := range round {
+		served[s] = 0
+		cursor[s] = 0
+	}
 	for {
 		best := -1
-		for _, t := range tenants {
-			if cursor[t] >= len(byTenant[t]) {
+		for _, s := range round {
+			if cursor[s] >= len(groups[s]) {
 				continue
 			}
-			if best < 0 || served[t] < served[best] {
-				best = t
+			if best < 0 || served[s] < served[best] {
+				best = s
 			}
 		}
 		if best < 0 {
@@ -70,7 +137,7 @@ func (TenantWeightedPolicy) Allocate(reqs []Request, budget []int, _ *rand.Rand)
 		// Walk the tenant's remaining requests to its first grantable
 		// one; a tenant whose cursor exhausts without a grant simply
 		// drops out of the round-robin on the next pass.
-		group := byTenant[best]
+		group := groups[best]
 		for cursor[best] < len(group) {
 			r := group[cursor[best]]
 			cursor[best]++

@@ -14,7 +14,7 @@ func treq(tenant, weight, job, node, prio int, path ...int) Request {
 }
 
 func TestTenantWeightedName(t *testing.T) {
-	if got := (TenantWeightedPolicy{}).Name(); got != "TenantWeighted" {
+	if got := NewTenantWeightedPolicy().Name(); got != "TenantWeighted" {
 		t.Fatalf("Name() = %q", got)
 	}
 }
@@ -32,7 +32,7 @@ func TestTenantWeightedSingleTenantMatchesCloudQC(t *testing.T) {
 	b1 := []int{4, 3, 5, 2}
 	b2 := append([]int(nil), b1...)
 	want := CloudQCPolicy{}.Allocate(mk(), b1, rand.New(rand.NewSource(1)))
-	got := TenantWeightedPolicy{}.Allocate(mk(), b2, rand.New(rand.NewSource(1)))
+	got := NewTenantWeightedPolicy().Allocate(mk(), b2, rand.New(rand.NewSource(1)))
 	if len(got) != len(want) {
 		t.Fatalf("alloc = %v, want %v", got, want)
 	}
@@ -54,7 +54,7 @@ func TestTenantWeightedBoundsStarvation(t *testing.T) {
 		treq(2, 1, 1, 0, 0, 0, 1),
 	}
 	budget := []int{3, 3}
-	alloc := TenantWeightedPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	alloc := NewTenantWeightedPolicy().Allocate(reqs, budget, rand.New(rand.NewSource(1)))
 	if alloc[NodeKey{Job: 1, Node: 0}] < 1 {
 		t.Fatalf("tenant 2 starved: %v", alloc)
 	}
@@ -69,7 +69,7 @@ func TestTenantWeightedHonorsWeights(t *testing.T) {
 		reqs = append(reqs, treq(2, 1, 1, i, 1, 0, 1))
 	}
 	budget := []int{8, 8}
-	alloc := TenantWeightedPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(1)))
+	alloc := NewTenantWeightedPolicy().Allocate(reqs, budget, rand.New(rand.NewSource(1)))
 	var t1, t2 int
 	for i := 0; i < 8; i++ {
 		t1 += alloc[NodeKey{Job: 0, Node: i}]
@@ -88,8 +88,8 @@ func TestTenantWeightedDeterministic(t *testing.T) {
 		}
 	}
 	b1, b2 := []int{4, 4, 4}, []int{4, 4, 4}
-	a1 := TenantWeightedPolicy{}.Allocate(mk(), b1, rand.New(rand.NewSource(9)))
-	a2 := TenantWeightedPolicy{}.Allocate(mk(), b2, rand.New(rand.NewSource(9)))
+	a1 := NewTenantWeightedPolicy().Allocate(mk(), b1, rand.New(rand.NewSource(9)))
+	a2 := NewTenantWeightedPolicy().Allocate(mk(), b2, rand.New(rand.NewSource(9)))
 	if len(a1) != len(a2) {
 		t.Fatalf("non-deterministic: %v vs %v", a1, a2)
 	}
@@ -123,7 +123,7 @@ func TestQuickTenantWeightedRespectsBudget(t *testing.T) {
 			budget[i] = 1 + rng.Intn(6)
 			orig[i] = budget[i]
 		}
-		alloc := TenantWeightedPolicy{}.Allocate(reqs, budget, rand.New(rand.NewSource(seed)))
+		alloc := NewTenantWeightedPolicy().Allocate(reqs, budget, rand.New(rand.NewSource(seed)))
 		used := make([]int, nQPU)
 		for _, r := range reqs {
 			if alloc[r.Key] < 0 {

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/fed"
+	"cloudqc/internal/graph"
+	"cloudqc/internal/place"
+)
+
+// TestServicePreemptionCrossShard: over HTTP, a job preempted on shard
+// 0 and resumed on shard 1 answers GET /v1/jobs/{id} under its original
+// id the whole way through, and /v1/stats reports the preemption
+// counters. The shard shapes mirror the federation-level test: the
+// 127-qubit trigger only fits the big shard, so the 39-qubit victim is
+// spilled to the idle small shard when it resumes.
+func TestServicePreemptionCrossShard(t *testing.T) {
+	pCfg := place.DefaultConfig()
+	pCfg.Seed = 7
+	f, err := fed.New(fed.Config{
+		Shard: core.Config{
+			Placer:  place.NewCloudQC(pCfg),
+			Mode:    core.EDFMode,
+			Seed:    7,
+			Preempt: core.PreemptRescue,
+		},
+		Clouds: []*cloud.Cloud{
+			cloud.NewRandom(8, 0.3, 20, 5, 1),
+			cloud.New(graph.Path(3), 20, 5),
+		},
+		SpillDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	srv, err := New(Config{Federation: f, Now: clock.now, TimeScale: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var victim JobResponse
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Tenant: 0, Circuit: "qugan_n39"}, &victim); code != http.StatusAccepted {
+		t.Fatalf("victim submit: %d", code)
+	}
+	clock.advance(10 * time.Millisecond) // 10 CX units at timescale 1000
+	var trigger JobResponse
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", SubmitRequest{Tenant: 1, Circuit: "ghz_n127", DeadlineSlack: 1e6}, &trigger); code != http.StatusAccepted {
+		t.Fatalf("trigger submit: %d", code)
+	}
+
+	// Walk the wall clock forward in fine steps; each stats poll paces
+	// the federation, whose step boundaries run preemption and rehoming
+	// (the spill decision needs to observe shard 0 still busy with the
+	// trigger, so steps must be shorter than the trigger's runtime).
+	// Throughout, the victim's id keeps resolving.
+	victimURL := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, victim.ID)
+	moved := false
+	for i := 0; i < 400 && !moved; i++ {
+		clock.advance(50 * time.Millisecond)
+		var stats StatsResponse
+		if code, _ := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+			t.Fatalf("stats poll %d failed", i)
+		}
+		var jr JobResponse
+		if code, _ := doJSON(t, "GET", victimURL, nil, &jr); code != http.StatusOK || jr.ID != victim.ID {
+			t.Fatalf("victim id lost mid-run: %d %+v (stats %+v)", code, jr, stats.Preemption)
+		}
+		if s, ok := f.ShardOf(victim.ID); ok && s == 1 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("victim never rehomed to shard 1 over HTTP (preempt %+v)", f.PreemptStats())
+	}
+
+	if _, err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResponse
+	if code, _ := doJSON(t, "GET", victimURL, nil, &jr); code != http.StatusOK || jr.ID != victim.ID || jr.Status != "completed" {
+		t.Fatalf("post-drain victim: %d %+v", code, jr)
+	}
+	var stats StatsResponse
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatal("post-drain stats failed")
+	}
+	if stats.Preemption.Preemptions == 0 || stats.Preemption.Resumes != stats.Preemption.Preemptions {
+		t.Fatalf("stats preemption counters %+v", stats.Preemption)
+	}
+}

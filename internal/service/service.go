@@ -424,6 +424,9 @@ type StatsResponse struct {
 	// counters and occupancy, merged across shards (all zero with
 	// "enabled": false when every controller runs uncached).
 	PlanCache plan.Stats `json:"plan_cache"`
+	// Preemption counts checkpoint preemptions, resumes, and rescued
+	// deadlines, summed across shards (all zero with -preempt off).
+	Preemption core.PreemptStats `json:"preemption"`
 	// Federation reports the routing tier: shard count, discipline,
 	// admission-router counters, and the per-shard breakdown. A
 	// single-controller server shows one shard with zeroed counters.
@@ -501,6 +504,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Online:     core.OnlineStatsOf(s.settled),
 		SLO:        sloWire(metrics.AggregateSLO(core.Outcomes(s.settled))),
 		PlanCache:  s.f.PlanCacheStats(),
+		Preemption: s.f.PreemptStats(),
 		Federation: s.federationWire(),
 	}
 	s.mu.Unlock()
