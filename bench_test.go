@@ -22,13 +22,16 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"cloudqc/internal/exp"
+	"cloudqc/internal/loadgen"
 	"cloudqc/internal/place"
 	"cloudqc/internal/plan"
 	"cloudqc/internal/sched"
+	"cloudqc/internal/service"
 	"cloudqc/internal/workload"
 )
 
@@ -695,4 +698,50 @@ func BenchmarkScheduleKnn67(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkLoadgen proves the service tier under sustained load: a
+// real HTTP server (httptest) over a FIFO live controller, hammered by
+// the internal/loadgen engine with 100k constant 3-qubit GHZ
+// submissions — the plan cache absorbs every compile after the first,
+// so the numbers measure the admission path itself. The huge timescale
+// makes virtual time effectively free, so the stream settles as fast
+// as the daemon can admit it. jobs/run is deterministic (every
+// submission must be accepted and settled); jobs/sec is the
+// client-observed end-to-end throughput fed into the benchjson
+// artifact for the trajectory.
+func BenchmarkLoadgen(b *testing.B) {
+	const jobs = 100000
+	var settled, jps float64
+	for i := 0; i < b.N; i++ {
+		lc, err := NewLiveController(ClusterConfig{
+			Cloud: NewRandomCloud(20, 0.3, 20, 5, 1),
+			Mode:  FIFOMode,
+			Seed:  7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := service.New(service.Config{Controller: lc, TimeScale: 1e7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		rep, err := loadgen.Run(loadgen.Config{BaseURL: ts.URL, Jobs: jobs, Workers: 8, Tenants: 4})
+		if err != nil {
+			ts.Close()
+			b.Fatal(err)
+		}
+		ts.Close()
+		if rep.Accepted != jobs {
+			b.Fatalf("accepted %d of %d", rep.Accepted, jobs)
+		}
+		if rep.Settled < rep.Accepted {
+			b.Fatalf("settled %d < accepted %d", rep.Settled, rep.Accepted)
+		}
+		settled += float64(rep.Settled)
+		jps += rep.JobsPerSec
+	}
+	b.ReportMetric(settled/float64(b.N), "jobs/run")
+	b.ReportMetric(jps/float64(b.N), "jobs/sec")
 }

@@ -46,11 +46,19 @@
 //	-plancache   compile-once plan cache LRU capacity (0 = default 256,
 //	             negative disables caching; GET /v1/stats reports
 //	             hit/miss counters, merged across shards)
+//	-wal         write-ahead log path: every accepted submission is
+//	             fsynced before admission, boot replays the log so a
+//	             restart recovers in-flight jobs bit-identically, and a
+//	             clean drain truncates it (empty disables durability)
+//	-degrade     backlog watermark at which admission degrades to FIFO
+//	             (0 = never)
+//	-shed        backlog watermark at which submissions are shed with
+//	             503 + Retry-After (0 = never; must be ≥ -degrade)
 //
-// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/stats,
-// GET /v1/cluster — see internal/service for the wire format (stats
-// and cluster carry per-shard breakdowns), and the README's "Running
-// as a service" section for curl examples.
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events,
+// GET /v1/events, GET /v1/stats, GET /v1/cluster, GET /metrics — see
+// docs/API.md for the wire format and docs/OPERATIONS.md for the
+// operator guide (recovery semantics, watermarks, metrics reference).
 package main
 
 import (
@@ -73,6 +81,7 @@ import (
 	"cloudqc/internal/place"
 	"cloudqc/internal/sched"
 	"cloudqc/internal/service"
+	"cloudqc/internal/wal"
 )
 
 func main() {
@@ -82,9 +91,20 @@ func main() {
 	}
 }
 
-// build assembles the service from CLI flags; split from run so tests
-// can drive the handler without binding a socket.
-func build(args []string) (*service.Server, string, error) {
+// daemon is a built-but-not-yet-listening cloudqcd: the service, its
+// write-ahead log (nil without -wal), the listen address, and how many
+// jobs boot-time recovery replayed.
+type daemon struct {
+	svc       *service.Server
+	wlog      *wal.Log
+	addr      string
+	recovered int
+}
+
+// build assembles the service from CLI flags — including opening the
+// WAL and replaying any recovered records; split from run so tests can
+// drive the handler without binding a socket.
+func build(args []string) (*daemon, error) {
 	fs := flag.NewFlagSet("cloudqcd", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
@@ -105,24 +125,30 @@ func build(args []string) (*service.Server, string, error) {
 		burst     = fs.Int("burst", 0, "per-tenant burst capacity (default ceil(rate))")
 		quota     = fs.Int("quota", 0, "per-tenant max in-flight jobs (0 = unlimited)")
 		planCache = fs.Int("plancache", 0, "plan-cache LRU capacity (0 = default, negative disables)")
+		walPath   = fs.String("wal", "", "write-ahead log path (empty disables durability)")
+		degrade   = fs.Int("degrade", 0, "backlog watermark that degrades admission to FIFO (0 = never)")
+		shedAt    = fs.Int("shed", 0, "backlog watermark that sheds submissions with 503 (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	m, err := core.ParseMode(*mode)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	pp, err := core.ParsePreempt(*preempt)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	rt, err := fed.ParseRouting(*routing)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	if *shards < 1 {
-		return nil, "", fmt.Errorf("-shards %d: need at least 1", *shards)
+		return nil, fmt.Errorf("-shards %d: need at least 1", *shards)
+	}
+	if *shedAt > 0 && *degrade > 0 && *shedAt < *degrade {
+		return nil, fmt.Errorf("-shed %d below -degrade %d: shedding must be the harder watermark", *shedAt, *degrade)
 	}
 	model := epr.DefaultModel()
 	model.SuccessProb = *eprProb
@@ -152,26 +178,52 @@ func build(args []string) (*service.Server, string, error) {
 		SpillDepth: *spill,
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, err
+	}
+	var (
+		wlog *wal.Log
+		recs []wal.Record
+	)
+	if *walPath != "" {
+		if wlog, recs, err = wal.Open(*walPath); err != nil {
+			return nil, err
+		}
 	}
 	srv, err := service.New(service.Config{
-		Federation:    f,
-		TimeScale:     *timescale,
-		Rate:          *rate,
-		Burst:         *burst,
-		MaxInFlight:   *quota,
-		PlanCacheSize: *planCache,
+		Federation:     f,
+		TimeScale:      *timescale,
+		Rate:           *rate,
+		Burst:          *burst,
+		MaxInFlight:    *quota,
+		PlanCacheSize:  *planCache,
+		WAL:            wlog,
+		DegradeBacklog: *degrade,
+		ShedBacklog:    *shedAt,
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	return srv, *addr, nil
+	d := &daemon{svc: srv, wlog: wlog, addr: *addr}
+	if len(recs) > 0 {
+		// Crash recovery: re-walk the logged operation stream through the
+		// fresh federation. Determinism makes the rebuilt state — job
+		// ids, placements, virtual clock — bit-identical to the state the
+		// previous process lost.
+		if d.recovered, err = srv.Replay(recs); err != nil {
+			return nil, fmt.Errorf("wal replay (%s): %w", *walPath, err)
+		}
+	}
+	return d, nil
 }
 
 func run(args []string, stdout io.Writer) error {
-	svc, addr, err := build(args)
+	d, err := build(args)
 	if err != nil {
 		return err
+	}
+	svc, addr := d.svc, d.addr
+	if d.recovered > 0 {
+		fmt.Fprintf(stdout, "cloudqcd: recovered %d jobs from %s\n", d.recovered, d.wlog.Path())
 	}
 	httpSrv := &http.Server{
 		Addr:    addr,
@@ -207,6 +259,17 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	printSummary(stdout, results)
+	if d.wlog != nil {
+		// A clean drain settles every logged job; the history has nothing
+		// left to recover, so the next boot cold-starts on an empty log.
+		if err := d.wlog.Reset(); err != nil {
+			return err
+		}
+		if err := d.wlog.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "cloudqcd: wal %s truncated after clean drain\n", d.wlog.Path())
+	}
 	return nil
 }
 

@@ -23,7 +23,7 @@ func TestBuildBadFlags(t *testing.T) {
 		{"-routing", "nope"},
 	}
 	for _, args := range cases {
-		if _, _, err := build(args); err == nil {
+		if _, err := build(args); err == nil {
 			t.Fatalf("build(%v) should error", args)
 		}
 	}
@@ -33,14 +33,14 @@ func TestBuildBadFlags(t *testing.T) {
 // httptest round trip: a 1-job quota rejects the second submission and
 // the cluster view reflects the -qpus flag.
 func TestDaemonFlagsReachService(t *testing.T) {
-	srv, addr, err := build([]string{"-addr", ":0", "-qpus", "8", "-quota", "1", "-mode", "wfq"})
+	d, err := build([]string{"-addr", ":0", "-qpus", "8", "-quota", "1", "-mode", "wfq"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":0" {
-		t.Fatalf("addr = %q", addr)
+	if d.addr != ":0" {
+		t.Fatalf("addr = %q", d.addr)
 	}
-	ts := httptest.NewServer(srv)
+	ts := httptest.NewServer(d.svc)
 	defer ts.Close()
 
 	post := func(body string) (int, string) {
@@ -82,11 +82,11 @@ func TestDaemonFlagsReachService(t *testing.T) {
 // wire views: /v1/stats names the routing and breaks stats down per
 // shard; /v1/cluster concatenates every shard's QPUs.
 func TestDaemonShardsFlag(t *testing.T) {
-	srv, _, err := build([]string{"-addr", ":0", "-qpus", "6", "-shards", "3", "-routing", "affinity", "-spill", "2", "-mode", "wfq"})
+	d, err := build([]string{"-addr", ":0", "-qpus", "6", "-shards", "3", "-routing", "affinity", "-spill", "2", "-mode", "wfq"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv)
+	ts := httptest.NewServer(d.svc)
 	defer ts.Close()
 
 	for i := 0; i < 3; i++ {

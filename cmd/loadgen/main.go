@@ -1,0 +1,83 @@
+// Command loadgen drives a live cloudqcd with a sustained submission
+// stream and reports client-observed throughput and latency — the
+// daemon's proof-of-load harness (internal/loadgen is the engine;
+// BenchmarkLoadgen feeds the same numbers into the benchjson CI gate).
+//
+// Usage:
+//
+//	loadgen [flags]
+//
+//	-url      daemon base URL (default http://127.0.0.1:8080)
+//	-jobs     submissions to issue (default 100000)
+//	-workers  concurrent submitters (default 8)
+//	-tenants  tenants to spread submissions over (default 4)
+//	-circuit  qlib benchmark name (default: inline 3-qubit GHZ)
+//	-slack    deadline slack per depth unit (0 = no deadlines)
+//	-timeout  settle-phase timeout (default 2m)
+//	-json     print the report as JSON instead of text
+//
+// Exit status is non-zero if the daemon is unreachable, the settle
+// phase times out, or no submission was accepted.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cloudqc/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		url     = fs.String("url", "http://127.0.0.1:8080", "daemon base URL")
+		jobs    = fs.Int("jobs", 100000, "submissions to issue")
+		workers = fs.Int("workers", 8, "concurrent submitters")
+		tenants = fs.Int("tenants", 4, "tenants to spread submissions over")
+		circ    = fs.String("circuit", "", "qlib benchmark name (default: inline 3-qubit GHZ)")
+		slack   = fs.Float64("slack", 0, "deadline slack per depth unit (0 = no deadlines)")
+		timeout = fs.Duration("timeout", 2*time.Minute, "settle-phase timeout")
+		asJSON  = fs.Bool("json", false, "print the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:       *url,
+		Jobs:          *jobs,
+		Workers:       *workers,
+		Tenants:       *tenants,
+		Circuit:       *circ,
+		DeadlineSlack: *slack,
+		SettleTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Accepted == 0 {
+		return errors.New("no submission was accepted")
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(stdout, "loadgen: %d submitted: %d accepted, %d rejected (429), %d shed (503), %d other\n",
+		rep.Submitted, rep.Accepted, rep.Rejected, rep.Shed, rep.Other)
+	fmt.Fprintf(stdout, "loadgen: submit %v (p50 %v, p99 %v), settle %v\n",
+		rep.SubmitWall.Round(time.Millisecond), rep.SubmitP50, rep.SubmitP99, rep.SettleWall.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "loadgen: %d settled, %.0f jobs/sec end to end\n", rep.Settled, rep.JobsPerSec)
+	return nil
+}

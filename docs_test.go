@@ -1,0 +1,49 @@
+package cloudqc
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks resolves every relative link in README.md and
+// docs/*.md against the repo tree, so renames and deleted files fail CI
+// instead of 404ing for readers. External (http/https) links and pure
+// in-page anchors are skipped — CI has no network and anchor slugs are
+// renderer-specific.
+func TestMarkdownLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found; the docs tier is missing")
+	}
+
+	linkRe := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s unreadable: %v", file, err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-page anchor off a file link.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", file, m[1], err)
+			}
+		}
+	}
+}

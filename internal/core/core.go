@@ -188,6 +188,12 @@ type Config struct {
 	// shard. Set by fed.New on multi-shard federations; meaningless for
 	// one-shot runs.
 	ExportPreempted bool
+	// OnTransition, when non-nil, is invoked at every live job lifecycle
+	// transition (the service layer derives its SSE streams from these).
+	// Fires synchronously inside the scheduling loop: the hook must be
+	// fast and must not call back into the controller. Never fires for
+	// one-shot Run calls, which keep no status index.
+	OnTransition func(Transition)
 }
 
 // RunStats summarizes the control-loop work of the last Run, for
@@ -566,9 +572,16 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 // index) is a no-op, so the shared admission/retire paths can call it
 // unconditionally.
 func (st *runState) setStatus(id int, s JobStatus) {
+	st.setStatusReason(id, s, ReasonNone)
+}
+
+// setStatusReason is setStatus with an explicit transition reason for
+// the OnTransition hook (preemption and resume paths).
+func (st *runState) setStatusReason(id int, s JobStatus, why TransitionReason) {
 	if st == nil || st.status == nil {
 		return
 	}
+	old := st.status[id]
 	st.status[id] = s
 	switch s {
 	case StatusCompleted:
@@ -576,6 +589,7 @@ func (st *runState) setStatus(id int, s JobStatus) {
 	case StatusFailed:
 		st.failed++
 	}
+	st.notify(Transition{JobID: id, From: old, To: s, At: st.eng.Now(), Reason: why})
 }
 
 // arrive is the arrival event: the job joins the admission queue and a
@@ -877,7 +891,11 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t, firstPlacedAt: first})
 		results[j.ID].RemoteGates = dag.Len()
 		results[j.ID].Placement = pl
-		st.setStatus(j.ID, StatusRunning)
+		if rs != nil {
+			st.setStatusReason(j.ID, StatusRunning, ReasonResumed)
+		} else {
+			st.setStatus(j.ID, StatusRunning)
+		}
 	}
 	ct.arrived = arrived[:0]
 	// Preserve arrival order among the still-waiting arrived jobs by

@@ -157,7 +157,7 @@ func (lc *LiveController) Submit(j *Job) error {
 		at = now
 	}
 	lc.jobs = append(lc.jobs, j)
-	lc.st.status[j.ID] = StatusPending
+	lc.st.setStatusReason(j.ID, StatusPending, ReasonNone)
 	lc.st.pendingArrivals++
 	lc.st.eng.SchedulePriority(at, func() { lc.st.arrive(j) })
 	return nil
@@ -189,7 +189,7 @@ func (lc *LiveController) SubmitResume(pj PreemptedJob) error {
 		at = now
 	}
 	lc.jobs = append(lc.jobs, j)
-	lc.st.status[j.ID] = StatusPending
+	lc.st.setStatusReason(j.ID, StatusPending, ReasonResumed)
 	lc.st.pendingArrivals++
 	lc.st.eng.SchedulePriority(at, func() { lc.st.arrive(j) })
 	return nil
@@ -428,6 +428,17 @@ func (lc *LiveController) QPULoads() []QPULoad {
 	}
 	return out
 }
+
+// SetOnTransition installs (or removes, with nil) the controller's
+// lifecycle-transition hook — see Config.OnTransition.
+func (lc *LiveController) SetOnTransition(fn func(Transition)) { lc.ct.SetOnTransition(fn) }
+
+// Mode returns the admission mode currently applied to new ticks.
+func (lc *LiveController) Mode() Mode { return lc.ct.Mode() }
+
+// SetMode switches the admission order from the next tick on (the
+// service layer's overload degradation to FIFO) — see Controller.SetMode.
+func (lc *LiveController) SetMode(m Mode) error { return lc.ct.SetMode(m) }
 
 // EPRAttempt returns the model's EPR-attempt round length in CX units —
 // the granularity the service's virtual-time pacer maps wall time onto.

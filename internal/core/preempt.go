@@ -273,7 +273,11 @@ func (st *runState) preemptVictim(aj *activeJob, t float64) {
 		// Federation re-routes the resume (possibly to another shard):
 		// this shard forgets the job entirely — result slot, status, and
 		// ID reservation — so SubmitResume can re-validate it wherever it
-		// lands.
+		// lands. The transition hook fires before the status entry is
+		// deleted, so observers still see the Running→Queued preemption.
+		if st.status != nil {
+			st.notify(Transition{JobID: id, From: st.status[id], To: StatusQueued, At: t, Reason: ReasonPreempted})
+		}
 		delete(st.results, id)
 		delete(st.status, id)
 		st.exported = append(st.exported, PreemptedJob{Job: aj.job, cp: cp, firstPlacedAt: aj.firstPlacedAt})
@@ -281,5 +285,5 @@ func (st *runState) preemptVictim(aj *activeJob, t float64) {
 	}
 	st.resume[id] = &resumeState{cp: cp, firstPlacedAt: aj.firstPlacedAt}
 	st.queue = append(st.queue, aj.job)
-	st.setStatus(id, StatusQueued)
+	st.setStatusReason(id, StatusQueued, ReasonPreempted)
 }

@@ -471,3 +471,36 @@ func (f *Federation) QPULoads() [][]core.QPULoad {
 	}
 	return out
 }
+
+// SetOnTransition installs fn as every shard's lifecycle-transition
+// hook, tagging each delivery with the shard index. Transition.JobID is
+// the federation-level (shard-tagged) id, so one hook observes a job's
+// whole life even when preemption rehomes it across shards. A nil fn
+// removes the hooks.
+func (f *Federation) SetOnTransition(fn func(shard int, tr core.Transition)) {
+	for i, s := range f.shards {
+		if fn == nil {
+			s.Controller().SetOnTransition(nil)
+			continue
+		}
+		i := i
+		s.Controller().SetOnTransition(func(tr core.Transition) { fn(i, tr) })
+	}
+}
+
+// Mode returns the shards' current admission mode (uniform by
+// construction: fed.New configures every shard alike and SetMode
+// switches them together).
+func (f *Federation) Mode() core.Mode { return f.shards[0].Controller().Mode() }
+
+// SetMode switches every shard's admission mode from its next tick on —
+// the service layer's overload degradation (WFQ→FIFO) and recovery.
+// WFQ virtual clocks survive a round trip through another mode.
+func (f *Federation) SetMode(m core.Mode) error {
+	for _, s := range f.shards {
+		if err := s.Controller().SetMode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

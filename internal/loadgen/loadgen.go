@@ -1,0 +1,228 @@
+// Package loadgen drives a live cloudqcd over HTTP with a sustained
+// submission stream and measures what a client actually observes:
+// accept/reject/shed counts, submit-latency percentiles, and end-to-end
+// throughput once the backlog settles. It is the daemon's proof-of-load
+// harness — cmd/loadgen wraps it as a CLI and BenchmarkLoadgen feeds
+// its throughput into the benchjson pipeline.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudqc/internal/service"
+)
+
+// GHZ3QASM is the default workload: a 3-qubit GHZ circuit, small
+// enough to fit any single QPU (no remote gates) and constant, so the
+// plan cache absorbs every compile after the first — the configuration
+// that measures the service path itself rather than placement cost.
+const GHZ3QASM = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\nmeasure q[2] -> c[2];\n"
+
+// Config parameterizes a load run against a live daemon.
+type Config struct {
+	// BaseURL is the daemon's root (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Jobs is the total number of submissions to issue.
+	Jobs int
+	// Workers is the number of concurrent submitters (default 8).
+	Workers int
+	// Tenants spreads submissions round-robin over this many tenant ids
+	// (default 4).
+	Tenants int
+	// Circuit is a qlib benchmark name; QASM an inline program. With
+	// neither set, GHZ3QASM is used.
+	Circuit string
+	QASM    string
+	// DeadlineSlack forwards to the submission body (0 = no deadlines).
+	DeadlineSlack float64
+	// SettleTimeout bounds the post-submission wait for every accepted
+	// job to settle (default 2 minutes of wall time).
+	SettleTimeout time.Duration
+	// Client overrides the HTTP client (default: http.DefaultClient
+	// with keep-alives, which this workload depends on).
+	Client *http.Client
+}
+
+// Report is what the run observed.
+type Report struct {
+	// Jobs issued, and their outcomes: accepted (202), rejected (429),
+	// shed (503), other (anything else — first error kept in Err).
+	Submitted int `json:"submitted"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Shed      int `json:"shed"`
+	Other     int `json:"other"`
+	// SubmitWall is the submission phase's wall-clock duration;
+	// SettleWall the additional wait until every accepted job settled.
+	SubmitWall time.Duration `json:"submit_wall"`
+	SettleWall time.Duration `json:"settle_wall"`
+	// SubmitP50/P99 are per-request submit latencies.
+	SubmitP50 time.Duration `json:"submit_p50"`
+	SubmitP99 time.Duration `json:"submit_p99"`
+	// Settled is the daemon's settled count when the run finished;
+	// JobsPerSec is accepted jobs over the full wall time (submission +
+	// settling) — client-observed end-to-end throughput.
+	Settled    int     `json:"settled"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// Run executes the configured load and reports. It returns an error
+// only for harness-level failures (unreachable daemon, bad config);
+// per-request rejections land in the Report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL required")
+	}
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("loadgen: Jobs %d: need at least 1", cfg.Jobs)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 4
+	}
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 2 * time.Minute
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Circuit == "" && cfg.QASM == "" {
+		cfg.QASM = GHZ3QASM
+	}
+
+	// Pre-encode one body per tenant: the submission loop then does no
+	// JSON work, only byte copies.
+	bodies := make([][]byte, cfg.Tenants)
+	for t := range bodies {
+		b, err := json.Marshal(service.SubmitRequest{
+			Tenant:        t,
+			Circuit:       cfg.Circuit,
+			QASM:          cfg.QASM,
+			DeadlineSlack: cfg.DeadlineSlack,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[t] = b
+	}
+
+	var (
+		next     atomic.Int64
+		rep      Report
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	perWorker := make([][]time.Duration, cfg.Workers)
+	counts := make([]Report, cfg.Workers)
+	url := cfg.BaseURL + "/v1/jobs"
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, cfg.Jobs/cfg.Workers+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Jobs {
+					break
+				}
+				body := bodies[i%cfg.Tenants]
+				t0 := time.Now()
+				resp, err := cfg.Client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat = append(lat, time.Since(t0))
+				counts[w].Submitted++
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					counts[w].Accepted++
+				case http.StatusTooManyRequests:
+					counts[w].Rejected++
+				case http.StatusServiceUnavailable:
+					counts[w].Shed++
+				default:
+					counts[w].Other++
+				}
+			}
+			perWorker[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	rep.SubmitWall = time.Since(start)
+	if firstErr != nil {
+		return nil, fmt.Errorf("loadgen: %w", firstErr)
+	}
+	var lats []time.Duration
+	for w := range counts {
+		rep.Submitted += counts[w].Submitted
+		rep.Accepted += counts[w].Accepted
+		rep.Rejected += counts[w].Rejected
+		rep.Shed += counts[w].Shed
+		rep.Other += counts[w].Other
+		lats = append(lats, perWorker[w]...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		rep.SubmitP50 = lats[n/2]
+		rep.SubmitP99 = lats[n*99/100]
+	}
+
+	// Settling phase: poll stats until every accepted job has settled.
+	settleStart := time.Now()
+	deadline := settleStart.Add(cfg.SettleTimeout)
+	for {
+		stats, err := fetchStats(cfg.Client, cfg.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: stats poll: %w", err)
+		}
+		rep.Settled = stats.Settled
+		if rep.Settled >= rep.Accepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			return &rep, fmt.Errorf("loadgen: %d/%d jobs settled after %v", rep.Settled, rep.Accepted, cfg.SettleTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep.SettleWall = time.Since(settleStart)
+	if total := rep.SubmitWall + rep.SettleWall; total > 0 {
+		rep.JobsPerSec = float64(rep.Accepted) / total.Seconds()
+	}
+	return &rep, nil
+}
+
+func fetchStats(c *http.Client, baseURL string) (*service.StatsResponse, error) {
+	resp, err := c.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	var stats service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}

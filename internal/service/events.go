@@ -1,0 +1,236 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cloudqc/internal/core"
+)
+
+// Event types, in a job's lifecycle order. A preempted job may cycle
+// placed→preempted→resumed any number of times before done.
+const (
+	// EventSubmit: the service accepted the submission (202 sent).
+	EventSubmit = "submit"
+	// EventQueued: the job's arrival entered the admission queue.
+	EventQueued = "queued"
+	// EventPlaced: admission reserved qubits and execution started.
+	EventPlaced = "placed"
+	// EventPreempted: preemption checkpointed the job off the cloud.
+	EventPreempted = "preempted"
+	// EventResumed: the checkpoint replayed onto a fresh placement
+	// (possibly on another shard — Shard says where it landed).
+	EventResumed = "resumed"
+	// EventDone: the job settled; Status is "completed" or "failed".
+	EventDone = "done"
+)
+
+// Event is one SSE payload: job Job (owned by tenant Tenant) underwent
+// Type on shard Shard at virtual time VTime. Seq is the stream cursor —
+// reconnect with Last-Event-ID (or ?since=) set to the last seen Seq to
+// resume without gaps, as long as the server's event ring still holds
+// it. Events are an in-memory convenience, not durable state: a
+// restarted daemon regenerates them from WAL replay.
+type Event struct {
+	Seq    int     `json:"seq"`
+	Type   string  `json:"type"`
+	Job    int     `json:"job"`
+	Tenant int     `json:"tenant"`
+	Shard  int     `json:"shard"`
+	VTime  float64 `json:"vtime"`
+	// Status is the job's settled state on EventDone, empty otherwise.
+	Status string `json:"status,omitempty"`
+}
+
+// eventLog is a bounded ring of events with a broadcast channel:
+// publishing closes the current wait channel, waking every blocked
+// stream to collect what it missed. All access under Server.mu.
+type eventLog struct {
+	buf   []Event
+	start int // ring index of the oldest retained event
+	n     int
+	seq   int // next sequence number
+	wake  chan struct{}
+}
+
+func newEventLog(capacity int) *eventLog {
+	return &eventLog{buf: make([]Event, capacity), wake: make(chan struct{})}
+}
+
+// append stamps ev with the next sequence number, retains it (evicting
+// the oldest event when full), and wakes blocked streams.
+func (l *eventLog) append(ev Event) {
+	ev.Seq = l.seq
+	l.seq++
+	if l.n < len(l.buf) {
+		l.buf[(l.start+l.n)%len(l.buf)] = ev
+		l.n++
+	} else {
+		l.buf[l.start] = ev
+		l.start = (l.start + 1) % len(l.buf)
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// after returns copies of every retained event with Seq > since.
+func (l *eventLog) after(since int) []Event {
+	var out []Event
+	for i := 0; i < l.n; i++ {
+		ev := l.buf[(l.start+i)%len(l.buf)]
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// waitCh returns the channel the next append closes.
+func (l *eventLog) waitCh() chan struct{} { return l.wake }
+
+// onTransition is the federation's status-transition hook: it maps core
+// lifecycle transitions onto wire events. It fires synchronously inside
+// StepUntil — the caller already holds s.mu, so it must only touch
+// plain state (never lock, never call back into the federation beyond
+// what transition delivery allows).
+func (s *Server) onTransition(shard int, tr core.Transition) {
+	ev := Event{Job: tr.JobID, Tenant: s.jobTenant[tr.JobID], Shard: shard, VTime: tr.At}
+	switch {
+	case tr.To == core.StatusPending:
+		// Internal: submission acceptance already emitted EventSubmit,
+		// and a cross-shard resume's re-validation lands as EventResumed
+		// when the checkpoint is re-placed.
+		return
+	case tr.To == core.StatusQueued && tr.Reason == core.ReasonPreempted:
+		ev.Type = EventPreempted
+	case tr.To == core.StatusQueued:
+		ev.Type = EventQueued
+	case tr.To == core.StatusRunning && tr.Reason == core.ReasonResumed:
+		ev.Type = EventResumed
+	case tr.To == core.StatusRunning:
+		ev.Type = EventPlaced
+	case tr.To == core.StatusCompleted || tr.To == core.StatusFailed:
+		ev.Type = EventDone
+		ev.Status = tr.To.String()
+		delete(s.jobTenant, tr.JobID)
+	default:
+		return
+	}
+	s.events.append(ev)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.streamEvents(w, r, -1)
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "job id must be an integer", 0)
+		return
+	}
+	s.mu.Lock()
+	_, status := s.f.Result(id)
+	s.mu.Unlock()
+	if status == core.StatusUnknown {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %d", id), 0)
+		return
+	}
+	s.streamEvents(w, r, id)
+}
+
+// streamEvents serves one SSE connection: replay the retained backlog
+// past the client's cursor, then block for new events, advancing the
+// virtual clock on a heartbeat so streams make progress even with no
+// other traffic. jobID ≥ 0 filters to one job and ends after its done
+// event; -1 streams everything until the client disconnects.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jobID int) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported", 0)
+		return
+	}
+	since := -1
+	if c := r.Header.Get("Last-Event-ID"); c != "" {
+		if n, err := strconv.Atoi(c); err == nil {
+			since = n
+		}
+	} else if c := r.URL.Query().Get("since"); c != "" {
+		if n, err := strconv.Atoi(c); err == nil {
+			since = n
+		}
+	}
+	// SSE outlives any server write deadline by design.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	_ = rc.SetReadDeadline(time.Time{})
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	heartbeat := time.NewTimer(s.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	for {
+		s.mu.Lock()
+		if err := s.advance(s.cfg.Now()); err != nil {
+			s.mu.Unlock()
+			return
+		}
+		s.sweep()
+		evs := s.events.after(since)
+		wake := s.events.waitCh()
+		s.mu.Unlock()
+
+		done := false
+		for _, ev := range evs {
+			since = ev.Seq
+			if jobID >= 0 && ev.Job != jobID {
+				continue
+			}
+			writeSSE(w, ev)
+			if jobID >= 0 && ev.Type == EventDone {
+				done = true
+			}
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if done {
+			return
+		}
+		if !heartbeat.Stop() {
+			select {
+			case <-heartbeat.C:
+			default:
+			}
+		}
+		heartbeat.Reset(s.cfg.Heartbeat)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		case <-heartbeat.C:
+			// Keep proxies from idling the connection out, and re-enter
+			// the loop so the advance above moves virtual time along.
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE frames one event: its Seq doubles as the SSE id, so
+// EventSource's automatic Last-Event-ID reconnect resumes the cursor.
+func writeSSE(w io.Writer, ev Event) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload)
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"time"
+
+	"errors"
+	"fmt"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/wal"
+)
+
+// Replay rebuilds the server's state from write-ahead-log records
+// recovered by wal.Open, before the server takes traffic. Replay is
+// exact, not approximate: step records re-walk the original daemon's
+// StepUntil boundaries (preserving shared-WFQ billing order and
+// preemption rehoming instants) and job records re-submit each accepted
+// job with its original arrival stamp, so the deterministic router and
+// id sequencer reassign the very same shard-tagged ids and the
+// LiveController-matches-Run guarantee makes every result, round count,
+// and recorder sample bit-identical to the uninterrupted run
+// (TestWALReplayDifferential).
+//
+// Rate limits and quotas are not re-checked — each logged job already
+// passed them — but the load-shedding degrade rule is re-applied at
+// each record, reproducing any WFQ→FIFO stretches. Shed (503) and
+// rejected (429) submissions were never logged, so nothing replays
+// them. After Replay the wall→virtual epoch is re-anchored so the
+// pacer continues from the recovered virtual time instead of jumping
+// back to zero.
+//
+// The record stream may be fed in consecutive chunks (each call
+// continues where the previous ended), but never twice: a step record
+// at or behind the replayed position is rejected, which is what makes
+// accidental double-replay of the same log a loud error instead of a
+// silently forked history.
+func (s *Server) Replay(recs []wal.Record) (jobs int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0, errors.New("service: replay into a drained server")
+	}
+	for i, rec := range recs {
+		switch rec.Type {
+		case wal.TypeStep:
+			if rec.V <= s.walV {
+				return jobs, fmt.Errorf("service: replay record %d steps to virtual time %g, at or behind the replayed position %g (duplicate or out-of-order replay?)", i, rec.V, s.walV)
+			}
+			if err := s.f.StepUntil(rec.V); err != nil {
+				return jobs, fmt.Errorf("service: replay record %d (step to %g): %w", i, rec.V, err)
+			}
+			s.walV = rec.V
+		case wal.TypeJob:
+			circ, cerr := buildCircuit(SubmitRequest{Circuit: rec.Circuit, QASM: rec.QASM})
+			if cerr != nil {
+				return jobs, fmt.Errorf("service: replay record %d: %v", i, cerr)
+			}
+			// The same degrade decision the live path took before this
+			// submission, at the same backlog (and the same skip of the
+			// backlog snapshot when no watermark is configured).
+			if s.cfg.ShedBacklog > 0 || s.cfg.DegradeBacklog > 0 {
+				s.applyDegrade(s.backlog())
+			}
+			job := &core.Job{
+				ID:       -1,
+				Circuit:  circ,
+				Arrival:  rec.V,
+				Tenant:   rec.Tenant,
+				Priority: rec.Priority,
+				Deadline: rec.Deadline,
+			}
+			if serr := s.f.Submit(job); serr != nil {
+				return jobs, fmt.Errorf("service: replay record %d (job): %w", i, serr)
+			}
+			s.noteSubmitted(job)
+			jobs++
+		default:
+			return jobs, fmt.Errorf("service: replay record %d has unknown type %q", i, rec.Type)
+		}
+	}
+	s.sweep()
+	// Re-anchor the pacer: the next advance at wall time "now" must map
+	// onto the replayed virtual position, not restart at zero. Nanosecond
+	// rounding can land the next computed v a hair below walV; the
+	// advance-side v > walV guard and StepUntil's clamp absorb that.
+	if s.walV > 0 {
+		s.epoch = s.cfg.Now().Add(-time.Duration(s.walV / s.cfg.TimeScale * float64(time.Second)))
+	}
+	return jobs, nil
+}

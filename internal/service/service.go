@@ -6,24 +6,37 @@
 // quotas bound each tenant's submission pressure before admission even
 // sees a job.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted; see docs/API.md for the complete
+// reference — TestAPIDocCoverage keeps it in sync with this table):
 //
-//	POST /v1/jobs      submit a circuit (qlib name or inline OpenQASM);
-//	                   202 with the job id, 429 with a retry hint when
-//	                   the tenant is over its rate or quota, 409 once
-//	                   the backend is drained
-//	GET  /v1/jobs/{id} one job's status and (once settled) its result
-//	GET  /v1/stats     stream aggregates: online stats + per-tenant SLO
-//	                   + the federation's routing counters and
-//	                   per-shard breakdown
-//	GET  /v1/cluster   cluster state: virtual clock, per-QPU load,
-//	                   per-shard snapshots
+//	POST /v1/jobs             submit a circuit (qlib name or inline
+//	                          OpenQASM); 202 with the job id, 429 with a
+//	                          retry hint when the tenant is over its
+//	                          rate or quota, 503 when the backlog passed
+//	                          the shedding watermark, 409 once the
+//	                          backend is drained
+//	GET  /v1/jobs/{id}        one job's status and (once settled) result
+//	GET  /v1/jobs/{id}/events one job's lifecycle as server-sent events
+//	GET  /v1/events           every job's lifecycle events (SSE)
+//	GET  /v1/stats            stream aggregates: online stats +
+//	                          per-tenant SLO + routing counters and
+//	                          per-shard breakdown
+//	GET  /v1/cluster          cluster state: virtual clock, per-QPU
+//	                          load, per-shard snapshots
+//	GET  /metrics             Prometheus text-format scrape
 //
 // The server owns a fed.Federation (a single live controller is
 // wrapped into a one-shard federation, preserving its behavior
 // bit-for-bit) and serializes all access; the wall clock is
 // injectable, so tests drive virtual time deterministically with
 // httptest.
+//
+// Durability: with Config.WAL set, every clock advance and accepted
+// submission is appended to a write-ahead log (submissions fsynced
+// before admission), and Replay rebuilds a restarted daemon's state
+// bit-identically from the recovered records. Overload: past
+// Config.DegradeBacklog the admission mode degrades WFQ→FIFO; past
+// Config.ShedBacklog submissions are shed with 503 + Retry-After.
 package service
 
 import (
@@ -44,6 +57,7 @@ import (
 	"cloudqc/internal/plan"
 	"cloudqc/internal/qasm"
 	"cloudqc/internal/qlib"
+	"cloudqc/internal/wal"
 )
 
 // Config assembles a Server. Exactly one of Controller and Federation
@@ -81,6 +95,30 @@ type Config struct {
 	// Now injects the wall clock; defaults to time.Now. Tests use a
 	// fake clock to drive the pacer deterministically.
 	Now func() time.Time
+	// WAL, when non-nil, is the daemon's write-ahead log: the server
+	// appends every virtual-clock advance and every accepted submission
+	// (the latter fsynced before the job reaches admission, so a 202
+	// implies durability). The server owns the log from here on. On
+	// restart, pass wal.Open's recovered records to Replay before
+	// serving traffic.
+	WAL *wal.Log
+	// DegradeBacklog is the load-shedding soft watermark: while the
+	// federation backlog (pending + queued jobs) is at or above it,
+	// admission degrades to FIFO — cheaper than WFQ's per-tick ordering
+	// — and restores the configured mode once the backlog falls below.
+	// Non-positive disables degradation.
+	DegradeBacklog int
+	// ShedBacklog is the hard watermark: at or above it, submissions
+	// are shed with 503 + Retry-After (never logged to the WAL, never
+	// admitted). Non-positive disables shedding.
+	ShedBacklog int
+	// EventBuffer bounds the in-memory SSE event ring (default 8192);
+	// clients further behind than the ring miss the overwritten events.
+	EventBuffer int
+	// Heartbeat is the SSE keep-alive interval: how often an idle event
+	// stream re-advances virtual time and emits a comment line so
+	// proxies keep the connection open (default 1s of wall time).
+	Heartbeat time.Duration
 }
 
 // Server is the HTTP front of one federation. Create with New, mount
@@ -98,11 +136,30 @@ type Server struct {
 	// caches finished/failed results in settle order, so per-request
 	// bookkeeping scales with the in-flight backlog, not with every job
 	// the daemon ever accepted (see sweep).
-	unsettled map[int]map[int]bool
-	settled   []*core.JobResult
-	submitted int
-	rejected  int
-	draining  bool
+	unsettled    map[int]map[int]bool
+	settled      []*core.JobResult
+	settledDirty bool
+	submitted    int
+	rejected     int
+	draining     bool
+	// events is the bounded SSE ring fed by the federation's
+	// status-transition hook; jobTenant resolves a live job's tenant for
+	// event payloads and per-tenant metrics (entries die with the job).
+	events    *eventLog
+	jobTenant map[int]int
+	// walV is the highest virtual time logged to the WAL; -1 until the
+	// first advance so a freshly anchored epoch's v=0 is still logged
+	// (and duplicate replay is detected from the very first record).
+	walV float64
+	// baseMode is the admission mode configured at build time — what
+	// degraded shards return to; degraded records the current state.
+	baseMode core.Mode
+	degraded bool
+	// Per-tenant rejection counters for /metrics, by cause.
+	rejRate  map[int]int
+	rejQuota map[int]int
+	shed     map[int]int
+	shedded  int
 }
 
 // New validates the configuration and returns a serving-ready Server.
@@ -136,18 +193,68 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PlanCacheSize != 0 {
 		f.ConfigurePlanCache(cfg.PlanCacheSize)
 	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 8192
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
 	s := &Server{
 		cfg:       cfg,
 		f:         f,
 		buckets:   make(map[int]*bucket),
 		unsettled: make(map[int]map[int]bool),
+		events:    newEventLog(cfg.EventBuffer),
+		jobTenant: make(map[int]int),
+		walV:      -1,
+		baseMode:  f.Mode(),
+		rejRate:   make(map[int]int),
+		rejQuota:  make(map[int]int),
+		shed:      make(map[int]int),
 	}
+	f.SetOnTransition(s.onTransition)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+	}
 	return s, nil
+}
+
+// Route describes one registered endpoint. The same table drives mux
+// registration and TestAPIDocCoverage, so docs/API.md cannot silently
+// drift from the served surface.
+type Route struct {
+	Method  string `json:"method"`
+	Pattern string `json:"pattern"`
+	Summary string `json:"summary"`
+}
+
+// route pairs a Route with its handler (handlers stay unexported).
+type route struct {
+	Route
+	handler http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{Route{"POST", "/v1/jobs", "submit a circuit for execution"}, s.handleSubmit},
+		{Route{"GET", "/v1/jobs/{id}", "one job's status and result"}, s.handleJob},
+		{Route{"GET", "/v1/jobs/{id}/events", "one job's lifecycle as server-sent events"}, s.handleJobEvents},
+		{Route{"GET", "/v1/events", "all jobs' lifecycle events (SSE)"}, s.handleEvents},
+		{Route{"GET", "/v1/stats", "stream aggregates: online, SLO, routing"}, s.handleStats},
+		{Route{"GET", "/v1/cluster", "cluster state under the virtual clock"}, s.handleCluster},
+		{Route{"GET", "/metrics", "Prometheus text-format metrics"}, s.handleMetrics},
+	}
+}
+
+// Routes lists every registered endpoint.
+func (s *Server) Routes() []Route {
+	rts := s.routes()
+	out := make([]Route, len(rts))
+	for i, rt := range rts {
+		out[i] = rt.Route
+	}
+	return out
 }
 
 // ServeHTTP implements http.Handler.
@@ -164,6 +271,17 @@ func (s *Server) advance(now time.Time) error {
 		s.epoch = now
 	}
 	v := now.Sub(s.epoch).Seconds() * s.cfg.TimeScale
+	// Step boundaries are semantically significant — shared-WFQ billing
+	// order and preemption rehoming happen per StepUntil — so replay
+	// must walk the same boundaries: log each advance (coalescing an
+	// unmoved clock). Losing unsynced step records on crash only ends
+	// replay at an earlier virtual time.
+	if s.cfg.WAL != nil && v > s.walV {
+		s.walV = v
+		if werr := s.cfg.WAL.AppendStep(v); werr != nil {
+			return werr
+		}
+	}
 	err := s.f.StepUntil(v)
 	if errors.Is(err, core.ErrDrained) {
 		// Drained out-of-band (not via Server.Drain): there is nothing
@@ -175,10 +293,13 @@ func (s *Server) advance(now time.Time) error {
 }
 
 // sweep moves freshly settled jobs out of the per-tenant in-flight sets
-// into the settled cache, which stays sorted by job id (= submission
-// order) so aggregates are bit-deterministic regardless of map
-// iteration or settle order. Callers hold s.mu and have advanced the
-// controller; cost is proportional to the in-flight backlog only.
+// into the settled cache. The cache is kept sorted by job id (=
+// submission order) only lazily: when jobs settle in id order — the
+// common case under FIFO — each batch appends in O(batch); an
+// out-of-order settle just marks the cache dirty and sortedSettled
+// re-sorts it on the next order-sensitive read. That keeps a sustained
+// submission stream linear instead of re-merging the full history on
+// every request. Callers hold s.mu and have advanced the controller.
 func (s *Server) sweep() {
 	var fresh []*core.JobResult
 	for tenant, ids := range s.unsettled {
@@ -197,24 +318,23 @@ func (s *Server) sweep() {
 	if len(fresh) == 0 {
 		return
 	}
-	// Sort only the newly settled batch and merge it into the already-
-	// sorted cache, keeping the sweep linear in the cache size instead
-	// of re-sorting the full history every time.
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Job.ID < fresh[j].Job.ID })
-	merged := make([]*core.JobResult, 0, len(s.settled)+len(fresh))
-	i, j := 0, 0
-	for i < len(s.settled) && j < len(fresh) {
-		if s.settled[i].Job.ID < fresh[j].Job.ID {
-			merged = append(merged, s.settled[i])
-			i++
-		} else {
-			merged = append(merged, fresh[j])
-			j++
-		}
+	if n := len(s.settled); n > 0 && !s.settledDirty && fresh[0].Job.ID < s.settled[n-1].Job.ID {
+		s.settledDirty = true
 	}
-	merged = append(merged, s.settled[i:]...)
-	merged = append(merged, fresh[j:]...)
-	s.settled = merged
+	s.settled = append(s.settled, fresh...)
+}
+
+// sortedSettled returns the settled cache in job-id (= submission)
+// order, re-sorting it first if out-of-order settles dirtied it.
+// Aggregates computed from it are then bit-deterministic regardless of
+// map iteration or settle order. Callers hold s.mu.
+func (s *Server) sortedSettled() []*core.JobResult {
+	if s.settledDirty {
+		sort.Slice(s.settled, func(i, j int) bool { return s.settled[i].Job.ID < s.settled[j].Job.ID })
+		s.settledDirty = false
+	}
+	return s.settled
 }
 
 // Drain stops accepting submissions, runs every accepted job to
@@ -315,16 +435,33 @@ func (s *Server) submit(req SubmitRequest, circ *circuit.Circuit) (int, any, flo
 		return http.StatusInternalServerError, err.Error(), 0
 	}
 	s.sweep()
+	// Load shedding before any per-tenant accounting: a shed submission
+	// is never WAL-logged (replay reproduces the same shed decisions
+	// because it applies the same watermarks at the same backlogs) and
+	// must not debit the tenant's token bucket. The backlog snapshot
+	// walks every in-flight job, so skip it when no watermark is set.
+	if s.cfg.ShedBacklog > 0 || s.cfg.DegradeBacklog > 0 {
+		backlog := s.backlog()
+		if wm := s.cfg.ShedBacklog; wm > 0 && backlog >= wm {
+			s.shed[req.Tenant]++
+			s.shedded++
+			return http.StatusServiceUnavailable,
+				fmt.Sprintf("backlog %d at or above shedding watermark %d", backlog, wm), s.shedRetryAfter()
+		}
+		s.applyDegrade(backlog)
+	}
 	// Quota before rate: a submission the quota refuses must not debit
 	// the tenant's token bucket, or retry-polling for a free slot would
 	// exhaust the rate budget the eventual accepted submission needs.
 	if q := s.cfg.MaxInFlight; q > 0 && len(s.unsettled[req.Tenant]) >= q {
 		s.rejected++
+		s.rejQuota[req.Tenant]++
 		return http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %d has %d jobs in flight (quota %d)", req.Tenant, q, q), 1
 	}
 	if ok, wait := s.allow(req.Tenant, now); !ok {
 		s.rejected++
+		s.rejRate[req.Tenant]++
 		return http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %d over submission rate", req.Tenant), wait
 	}
@@ -342,18 +479,93 @@ func (s *Server) submit(req SubmitRequest, circ *circuit.Circuit) (int, any, flo
 	if req.DeadlineSlack > 0 {
 		job.Deadline = arrival + float64(circ.Depth())*req.DeadlineSlack
 	}
+	// Durability before admission: the submission is framed, appended,
+	// and fsynced first, so every job a client saw accepted survives a
+	// crash. A WAL failure refuses the job — accepting it un-logged
+	// would break the replay guarantee.
+	if w := s.cfg.WAL; w != nil {
+		rec := wal.Record{
+			Type: wal.TypeJob, V: arrival,
+			Tenant: req.Tenant, Priority: req.Priority, Deadline: job.Deadline,
+			Circuit: req.Circuit, QASM: req.QASM,
+		}
+		if rec.Circuit == "" && rec.QASM == "" {
+			// Defensive: buildCircuit guarantees one is set.
+			rec.QASM = qasm.Write(circ)
+		}
+		if err := w.Append(rec); err != nil {
+			return http.StatusInternalServerError, err.Error(), 0
+		}
+		if err := w.Sync(); err != nil {
+			return http.StatusInternalServerError, err.Error(), 0
+		}
+	}
 	if err := s.f.Submit(job); err != nil {
 		if errors.Is(err, core.ErrDrained) {
 			return http.StatusConflict, err.Error(), 0
 		}
 		return http.StatusInternalServerError, err.Error(), 0
 	}
-	s.submitted++
-	if s.unsettled[req.Tenant] == nil {
-		s.unsettled[req.Tenant] = make(map[int]bool)
-	}
-	s.unsettled[req.Tenant][job.ID] = true
+	s.noteSubmitted(job)
 	return http.StatusAccepted, s.jobResponse(job.ID), 0
+}
+
+// noteSubmitted records an accepted job's bookkeeping (shared between
+// the live submit path and WAL replay): counters, the tenant's
+// in-flight set, the tenant index for events/metrics, and the "submit"
+// event. Callers hold s.mu.
+func (s *Server) noteSubmitted(job *core.Job) {
+	s.submitted++
+	if s.unsettled[job.Tenant] == nil {
+		s.unsettled[job.Tenant] = make(map[int]bool)
+	}
+	s.unsettled[job.Tenant][job.ID] = true
+	s.jobTenant[job.ID] = job.Tenant
+	shard, _ := s.f.ShardOf(job.ID)
+	s.events.append(Event{
+		Type: EventSubmit, Job: job.ID, Tenant: job.Tenant,
+		Shard: shard, VTime: job.Arrival,
+	})
+}
+
+// backlog is the federation-wide count of jobs waiting for service
+// (pending arrivals + admission queue), the quantity both load-shedding
+// watermarks compare against. Callers hold s.mu and have advanced.
+func (s *Server) backlog() int {
+	snap := s.f.Snapshot()
+	return snap.Pending + snap.Queued
+}
+
+// applyDegrade switches admission WFQ→FIFO at the soft watermark and
+// back below it. Mode changes go through the federation so every shard
+// flips together; WFQ virtual clocks survive the round trip. Replay
+// applies the same rule at the same backlogs, so a recovered daemon
+// reproduces the degraded stretches exactly. Callers hold s.mu.
+func (s *Server) applyDegrade(backlog int) {
+	wm := s.cfg.DegradeBacklog
+	if wm <= 0 || s.baseMode == core.FIFOMode {
+		return
+	}
+	if degrade := backlog >= wm; degrade != s.degraded {
+		mode := s.baseMode
+		if degrade {
+			mode = core.FIFOMode
+		}
+		if s.f.SetMode(mode) == nil {
+			s.degraded = degrade
+		}
+	}
+}
+
+// shedRetryAfter estimates how long until the backlog could fall below
+// the shedding watermark: one EPR round of virtual time, converted to
+// wall seconds — a floor on when retrying could possibly succeed.
+func (s *Server) shedRetryAfter() float64 {
+	round := s.f.Shard(0).Controller().EPRAttempt()
+	if wait := round / s.cfg.TimeScale; wait > 1 {
+		return wait
+	}
+	return 1
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -417,9 +629,12 @@ type StatsResponse struct {
 	Settled    int     `json:"settled"`
 	// Rejected counts 429-rejected submissions (rate or quota); they
 	// never reach the controller and are absent from every aggregate.
-	Rejected int                 `json:"rejected"`
-	Online   metrics.OnlineStats `json:"online"`
-	SLO      SLOWire             `json:"slo"`
+	Rejected int `json:"rejected"`
+	// Shed counts 503-shed submissions (backlog over the shedding
+	// watermark); like rejections they never reach the controller.
+	Shed   int                 `json:"shed"`
+	Online metrics.OnlineStats `json:"online"`
+	SLO    SLOWire             `json:"slo"`
 	// PlanCache reports the compile-once plan caches' hit/miss/eviction
 	// counters and occupancy, merged across shards (all zero with
 	// "enabled": false when every controller runs uncached).
@@ -469,23 +684,49 @@ func (s *Server) federationWire() FederationWire {
 	return fw
 }
 
-// SLOWire is metrics.SLOStats with NaNs (no deadline-carrying jobs,
-// too few tenants) marshaled as null instead of breaking the encoder.
+// NullableFloat is a float64 that marshals NaN as JSON null (the
+// encoder rejects NaN outright) and unmarshals null back to NaN — the
+// one place the /v1/stats NaN→null mapping lives. An aggregate is NaN
+// whenever its input set is empty: no settled jobs, no
+// deadline-carrying jobs, or too few tenants for a fairness index.
+type NullableFloat float64
+
+// IsNull reports whether the value marshals as null.
+func (f NullableFloat) IsNull() bool { return math.IsNaN(float64(f)) }
+
+// MarshalJSON implements json.Marshaler: NaN → null.
+func (f NullableFloat) MarshalJSON() ([]byte, error) {
+	if f.IsNull() {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// UnmarshalJSON implements json.Unmarshaler: null → NaN.
+func (f *NullableFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = NullableFloat(math.NaN())
+		return nil
+	}
+	return json.Unmarshal(b, (*float64)(f))
+}
+
+// SLOWire is metrics.SLOStats on the wire, NaNs as null (NullableFloat).
 type SLOWire struct {
-	Attainment *float64        `json:"attainment"`
-	Fairness   *float64        `json:"fairness"`
+	Attainment NullableFloat   `json:"attainment"`
+	Fairness   NullableFloat   `json:"fairness"`
 	PerTenant  []TenantSLOWire `json:"per_tenant"`
 }
 
 // TenantSLOWire is one tenant's SLO slice on the wire.
 type TenantSLOWire struct {
-	Tenant     int      `json:"tenant"`
-	Weight     int      `json:"weight"`
-	Completed  int      `json:"completed"`
-	Failed     int      `json:"failed"`
-	MeanJCT    *float64 `json:"mean_jct"`
-	P99JCT     *float64 `json:"p99_jct"`
-	Attainment *float64 `json:"attainment"`
+	Tenant     int           `json:"tenant"`
+	Weight     int           `json:"weight"`
+	Completed  int           `json:"completed"`
+	Failed     int           `json:"failed"`
+	MeanJCT    NullableFloat `json:"mean_jct"`
+	P99JCT     NullableFloat `json:"p99_jct"`
+	Attainment NullableFloat `json:"attainment"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -496,13 +737,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sweep()
+	settled := s.sortedSettled()
 	resp := StatsResponse{
 		VirtualNow: s.f.Now(),
 		Submitted:  s.submitted,
-		Settled:    len(s.settled),
+		Settled:    len(settled),
 		Rejected:   s.rejected,
-		Online:     core.OnlineStatsOf(s.settled),
-		SLO:        sloWire(metrics.AggregateSLO(core.Outcomes(s.settled))),
+		Shed:       s.shedded,
+		Online:     core.OnlineStatsOf(settled),
+		SLO:        sloWire(metrics.AggregateSLO(core.Outcomes(settled))),
 		PlanCache:  s.f.PlanCacheStats(),
 		Preemption: s.f.PreemptStats(),
 		Federation: s.federationWire(),
@@ -612,8 +855,8 @@ func buildCircuit(req SubmitRequest) (*circuit.Circuit, error) {
 
 func sloWire(s metrics.SLOStats) SLOWire {
 	out := SLOWire{
-		Attainment: fnil(s.Attainment),
-		Fairness:   fnil(s.Fairness),
+		Attainment: NullableFloat(s.Attainment),
+		Fairness:   NullableFloat(s.Fairness),
 		PerTenant:  make([]TenantSLOWire, 0, len(s.PerTenant)),
 	}
 	for _, t := range s.PerTenant {
@@ -622,20 +865,12 @@ func sloWire(s metrics.SLOStats) SLOWire {
 			Weight:     t.Weight,
 			Completed:  t.Completed,
 			Failed:     t.Failed,
-			MeanJCT:    fnil(t.MeanJCT),
-			P99JCT:     fnil(t.P99JCT),
-			Attainment: fnil(t.Attainment),
+			MeanJCT:    NullableFloat(t.MeanJCT),
+			P99JCT:     NullableFloat(t.P99JCT),
+			Attainment: NullableFloat(t.Attainment),
 		})
 	}
 	return out
-}
-
-// fnil maps NaN to nil for JSON (the encoder rejects NaN outright).
-func fnil(v float64) *float64 {
-	if math.IsNaN(v) {
-		return nil
-	}
-	return &v
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -211,10 +211,10 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantSLO := metrics.AggregateSLO(core.Outcomes(want))
-	if stats.SLO.Attainment == nil || *stats.SLO.Attainment != wantSLO.Attainment {
+	if stats.SLO.Attainment.IsNull() || float64(stats.SLO.Attainment) != wantSLO.Attainment {
 		t.Fatalf("SLO attainment %v, want %v", stats.SLO.Attainment, wantSLO.Attainment)
 	}
-	if stats.SLO.Fairness == nil || *stats.SLO.Fairness != wantSLO.Fairness {
+	if stats.SLO.Fairness.IsNull() || float64(stats.SLO.Fairness) != wantSLO.Fairness {
 		t.Fatalf("SLO fairness %v, want %v", stats.SLO.Fairness, wantSLO.Fairness)
 	}
 	if len(stats.SLO.PerTenant) != len(wantSLO.PerTenant) {
@@ -223,8 +223,8 @@ func TestServiceEndToEnd(t *testing.T) {
 	for i, wt := range wantSLO.PerTenant {
 		gt := stats.SLO.PerTenant[i]
 		if gt.Tenant != wt.Tenant || gt.Completed != wt.Completed || gt.Failed != wt.Failed ||
-			gt.MeanJCT == nil || *gt.MeanJCT != wt.MeanJCT ||
-			gt.Attainment == nil || *gt.Attainment != wt.Attainment {
+			float64(gt.MeanJCT) != wt.MeanJCT ||
+			float64(gt.Attainment) != wt.Attainment {
 			t.Fatalf("tenant %d SLO diverged: got %+v, want %+v", wt.Tenant, gt, wt)
 		}
 	}

@@ -1,0 +1,217 @@
+// Package wal is cloudqcd's write-ahead log: an append-only operation
+// log of everything that shapes a live federation's state — every
+// virtual-clock advance ("step" records) and every accepted submission
+// ("job" records, fsynced before the job is admitted). Because the
+// LiveController is bit-identical to a one-shot Run over the same
+// operation stream, replaying the log through a freshly built
+// federation reproduces the original daemon's state exactly: job ids,
+// per-job results, round/event counts, and recorder series.
+//
+// On-disk format: one record per line,
+//
+//	CCCCCCCC {"t":"step","v":123.5}\n
+//
+// where CCCCCCCC is the lowercase-hex IEEE CRC32 of the JSON payload.
+// Open scans the whole file, stops at the first torn or corrupt record
+// (a crash mid-append leaves at most one), truncates the tail, and
+// returns the intact prefix for replay.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record types.
+const (
+	// TypeStep logs a virtual-clock advance: replay calls StepUntil(V).
+	TypeStep = "step"
+	// TypeJob logs an accepted submission; replay re-submits it. The job
+	// id is NOT logged — ids are assigned deterministically by the
+	// federation's router+sequencer, so replay reproduces them.
+	TypeJob = "job"
+)
+
+// Record is one logged operation. Step records use only V (the
+// StepUntil target). Job records carry the submission as accepted:
+// V is the virtual arrival stamp, Circuit a qlib circuit name or QASM
+// the inline program (exactly one is set), and Tenant/Priority/Deadline
+// the admission parameters (Deadline is absolute virtual time, 0 for
+// none).
+type Record struct {
+	Type     string  `json:"t"`
+	V        float64 `json:"v"`
+	Tenant   int     `json:"tenant,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+	Deadline float64 `json:"deadline,omitempty"`
+	Circuit  string  `json:"circuit,omitempty"`
+	QASM     string  `json:"qasm,omitempty"`
+}
+
+// Stats summarizes a log's append-side activity for /metrics. Records
+// and Bytes count appends since Open (recovered records not included);
+// Syncs and SyncSeconds accumulate fsync count and total latency.
+type Stats struct {
+	Records     int
+	Bytes       int64
+	Syncs       int
+	SyncSeconds float64
+}
+
+// Log is an open write-ahead log positioned for appending. It is not
+// safe for concurrent use; the service layer serializes all access
+// under its request mutex.
+type Log struct {
+	f     *os.File
+	path  string
+	stats Stats
+}
+
+// Open opens (creating if absent) the log at path, scans every intact
+// record, truncates any torn or corrupt tail, and returns the log
+// positioned for appending plus the recovered records in append order.
+func Open(path string) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	recs, good, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{f: f, path: path}, recs, nil
+}
+
+// scan reads records from the start of f, returning the intact prefix
+// and the byte offset just past its last record. A torn line (no
+// newline), a malformed frame, a CRC mismatch, or invalid JSON ends the
+// scan — everything from there on is the tail a crash left behind.
+func scan(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("wal: seek: %w", err)
+	}
+	var (
+		recs []Record
+		good int64
+		rd   = bufio.NewReader(f)
+	)
+	for {
+		line, err := rd.ReadString('\n')
+		if err == io.EOF {
+			// No trailing newline: a torn final record (or empty file).
+			return recs, good, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: read: %w", err)
+		}
+		rec, ok := parseLine(line)
+		if !ok {
+			return recs, good, nil
+		}
+		recs = append(recs, rec)
+		good += int64(len(line))
+	}
+}
+
+// parseLine decodes one framed record line ("crc8hex json\n").
+func parseLine(line string) (Record, bool) {
+	body, okCut := strings.CutSuffix(line, "\n")
+	if !okCut || len(body) < 10 || body[8] != ' ' {
+		return Record{}, false
+	}
+	want, err := strconv.ParseUint(body[:8], 16, 32)
+	if err != nil {
+		return Record{}, false
+	}
+	payload := body[9:]
+	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return Record{}, false
+	}
+	if rec.Type != TypeStep && rec.Type != TypeJob {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Append frames and writes one record. Step records are left to the
+// OS page cache (losing a tail of clock advances on crash is benign —
+// replay just ends at an earlier virtual time); call Sync after job
+// records, whose durability is acknowledged to the client.
+func (l *Log) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encode: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if _, err := l.f.WriteString(line); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.stats.Records++
+	l.stats.Bytes += int64(len(line))
+	return nil
+}
+
+// AppendStep logs a virtual-clock advance to v (unsynced).
+func (l *Log) AppendStep(v float64) error {
+	return l.Append(Record{Type: TypeStep, V: v})
+}
+
+// Sync flushes appended records to stable storage, accumulating the
+// fsync latency into Stats for the /metrics endpoint.
+func (l *Log) Sync() error {
+	start := time.Now()
+	err := l.f.Sync()
+	l.stats.Syncs++
+	l.stats.SyncSeconds += time.Since(start).Seconds()
+	if err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Stats returns the append-side counters since Open.
+func (l *Log) Stats() Stats { return l.stats }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Reset truncates the log to empty — called after a clean drain, when
+// every logged job has settled and the history is no longer needed.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	return l.Sync()
+}
+
+// Close syncs and closes the underlying file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close sync: %w", err)
+	}
+	return l.f.Close()
+}
