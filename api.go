@@ -17,6 +17,7 @@ import (
 	"cloudqc/internal/sched"
 	"cloudqc/internal/service"
 	"cloudqc/internal/simq"
+	"cloudqc/internal/trace"
 	"cloudqc/internal/workload"
 )
 
@@ -259,6 +260,11 @@ func PartitionClouds(topo *Topology, n, computing, comm int, imbalance float64, 
 // ParseRoutingMode maps a routing name — "affinity" or "random" (empty
 // means affinity) — to the federation admission routing.
 func ParseRoutingMode(s string) (RoutingMode, error) { return fed.ParseRouting(s) }
+
+// NewTraceRecorder returns an empty virtual-time span recorder; attach
+// it to ClusterConfig.Trace (one controller) or FederationConfig.Trace
+// (shared across every shard, so traces survive cross-shard rehomes).
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
 
 // NewWFQClock returns a fresh shared WFQ virtual-clock space; hand it
 // to several controllers via ClusterConfig.SharedWFQ to extend

@@ -59,6 +59,7 @@ import (
 	"cloudqc/internal/sched"
 	"cloudqc/internal/service"
 	"cloudqc/internal/simq"
+	"cloudqc/internal/trace"
 	"cloudqc/internal/workload"
 )
 
@@ -199,6 +200,22 @@ type (
 	// Federation.PreemptStats; the HTTP service reports it on
 	// GET /v1/stats).
 	PreemptStats = core.PreemptStats
+	// TraceRecorder records deterministic virtual-time execution spans
+	// for every job a controller runs: queue wait, admission decision,
+	// compiles, EPR rounds, suspensions, cross-shard rehomes, and a JCT
+	// attribution whose phases sum to the JCT exactly. Attach one via
+	// ClusterConfig.Trace or FederationConfig.Trace (shared across
+	// shards); nil keeps tracing off at zero hot-path cost. The HTTP
+	// service serves traces on GET /v1/jobs/{id}/trace.
+	TraceRecorder = trace.Recorder
+	// JobTrace is one job's recorded span tree.
+	JobTrace = trace.JobTrace
+	// JCTAttribution splits one job's completion time into queue /
+	// compile / local-compute / network-stall / suspended phases.
+	JCTAttribution = trace.Attribution
+	// TenantAttribution is one tenant's exact per-phase attribution
+	// aggregate over its settled traces.
+	TenantAttribution = trace.TenantAttribution
 )
 
 // ErrDrained reports an operation on a live controller or federation

@@ -25,6 +25,9 @@
 //	federation               federated controller tier: throughput, JCT
 //	                         and fairness vs shard count, with the
 //	                         affinity-vs-random routing ablation
+//	attribution              JCT attribution: queue/network/local/
+//	                         suspended time-breakdown vs load per
+//	                         admission mode, from virtual-time traces
 //	serve                    forwarding note: the HTTP daemon is the
 //	                         separate cloudqcd binary (cmd/cloudqcd)
 //
@@ -207,6 +210,9 @@ func commandTable() []command {
 		command{"federation", "experiments",
 			"federated controller tier: throughput/JCT/fairness vs shard count, affinity vs random routing (-jobs per tenant)",
 			runFederation},
+		command{"attribution", "experiments",
+			"JCT attribution: queue/network/local/suspended time-breakdown vs load per admission mode (-process, -jobs per tenant, -interarrivals)",
+			runAttribution},
 		command{"ablation-imbalance", "ablations", "communication cost by imbalance factor (-circuit)", func(cc *cmdContext) error {
 			s, err := exp.AblationImbalance(cc.o, cc.circuit)
 			if err != nil {
@@ -395,6 +401,29 @@ func runPreempt(cc *cmdContext) error {
 	fmt.Printf("preemption: %s arrivals, 3 tenants x %d jobs, EDF admission, attainment/p99 JCT vs arrival rate for preemption off/rescue/priority\n",
 		cc.process, cc.jobs)
 	fmt.Print(exp.RenderPreemption(rows))
+	return nil
+}
+
+// runAttribution renders the JCT-attribution figure: the three-tenant
+// mix traced under FIFO, EDF, and WFQ admission, sweeping arrival rate
+// — each cell's completion time split into queue, network-stall,
+// local-compute, and suspended fractions that sum to the measured JCT
+// exactly (the virtual-time tracer's sum-to-JCT invariant).
+func runAttribution(cc *cmdContext) error {
+	if cc.jobs <= 0 {
+		return fmt.Errorf("-jobs must be positive, got %d", cc.jobs)
+	}
+	interarrivals, err := parseRates(cc.rates)
+	if err != nil {
+		return err
+	}
+	rows, err := exp.Attribution(cc.o, cc.process, cc.jobs, interarrivals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attribution: %s arrivals, 3 tenants x %d jobs, JCT time-breakdown vs arrival rate for fifo/edf/wfq admission\n",
+		cc.process, cc.jobs)
+	fmt.Print(exp.RenderAttribution(rows))
 	return nil
 }
 

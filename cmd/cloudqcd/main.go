@@ -54,11 +54,22 @@
 //	             (0 = never)
 //	-shed        backlog watermark at which submissions are shed with
 //	             503 + Retry-After (0 = never; must be ≥ -degrade)
+//	-trace       record deterministic virtual-time execution spans for
+//	             every job (queue wait, admission decision, compiles,
+//	             EPR rounds, suspensions, rehomes) and serve them on
+//	             GET /v1/jobs/{id}/trace with a JCT attribution whose
+//	             phases sum to the JCT exactly; per-tenant aggregates
+//	             land in /v1/stats and /metrics. Off by default: the
+//	             disabled path costs nothing on the scheduling hot loop
+//	-pprof       net/http/pprof listen address (e.g. localhost:6060) on
+//	             a separate private mux — never exposed on -addr (empty
+//	             disables profiling)
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events,
-// GET /v1/events, GET /v1/stats, GET /v1/cluster, GET /metrics — see
-// docs/API.md for the wire format and docs/OPERATIONS.md for the
-// operator guide (recovery semantics, watermarks, metrics reference).
+// GET /v1/jobs/{id}/trace, GET /v1/events, GET /v1/stats,
+// GET /v1/cluster, GET /metrics — see docs/API.md for the wire format
+// and docs/OPERATIONS.md for the operator guide (recovery semantics,
+// watermarks, metrics reference, profiling runbook).
 package main
 
 import (
@@ -68,6 +79,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -81,6 +93,7 @@ import (
 	"cloudqc/internal/place"
 	"cloudqc/internal/sched"
 	"cloudqc/internal/service"
+	"cloudqc/internal/trace"
 	"cloudqc/internal/wal"
 )
 
@@ -98,6 +111,7 @@ type daemon struct {
 	svc       *service.Server
 	wlog      *wal.Log
 	addr      string
+	pprofAddr string
 	recovered int
 }
 
@@ -128,6 +142,8 @@ func build(args []string) (*daemon, error) {
 		walPath   = fs.String("wal", "", "write-ahead log path (empty disables durability)")
 		degrade   = fs.Int("degrade", 0, "backlog watermark that degrades admission to FIFO (0 = never)")
 		shedAt    = fs.Int("shed", 0, "backlog watermark that sheds submissions with 503 (0 = never)")
+		traceOn   = fs.Bool("trace", false, "record virtual-time execution spans and serve /v1/jobs/{id}/trace")
+		pprofAddr = fs.String("pprof", "", "net/http/pprof listen address on a private mux (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -171,12 +187,19 @@ func build(args []string) (*daemon, error) {
 	for i := range clouds {
 		clouds[i] = cloud.NewRandom(*qpus, *edgeProb, *computing, *comm, *seed)
 	}
-	f, err := fed.New(fed.Config{
+	fedCfg := fed.Config{
 		Shard:      cfg,
 		Clouds:     clouds,
 		Routing:    rt,
 		SpillDepth: *spill,
-	})
+	}
+	if *traceOn {
+		// One shared recorder across every shard: traces follow jobs
+		// through cross-shard rehomes, and WAL replay rebuilds them
+		// bit-identically by re-walking the same operation stream.
+		fedCfg.Trace = trace.New()
+	}
+	f, err := fed.New(fedCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +226,7 @@ func build(args []string) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &daemon{svc: srv, wlog: wlog, addr: *addr}
+	d := &daemon{svc: srv, wlog: wlog, addr: *addr, pprofAddr: *pprofAddr}
 	if len(recs) > 0 {
 		// Crash recovery: re-walk the logged operation stream through the
 		// fresh federation. Determinism makes the rebuilt state — job
@@ -235,6 +258,24 @@ func run(args []string, stdout io.Writer) error {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	if d.pprofAddr != "" {
+		// Profiling lives on its own mux and listener: pprof handlers are
+		// never registered on the public -addr surface, so exposing the
+		// daemon does not expose heap dumps and CPU profiles with it.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(stdout, "cloudqcd: pprof listening on %s\n", d.pprofAddr)
+			if err := http.ListenAndServe(d.pprofAddr, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "cloudqcd: pprof:", err)
+			}
+		}()
 	}
 
 	shutdown := make(chan error, 1)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"cloudqc/internal/loadgen"
@@ -76,8 +77,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "loadgen: %d submitted: %d accepted, %d rejected (429), %d shed (503), %d other\n",
 		rep.Submitted, rep.Accepted, rep.Rejected, rep.Shed, rep.Other)
-	fmt.Fprintf(stdout, "loadgen: submit %v (p50 %v, p99 %v), settle %v\n",
-		rep.SubmitWall.Round(time.Millisecond), rep.SubmitP50, rep.SubmitP99, rep.SettleWall.Round(time.Millisecond))
+	codes := make([]int, 0, len(rep.StatusCounts))
+	for code := range rep.StatusCounts {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(stdout, "loadgen: status %d: %d\n", code, rep.StatusCounts[code])
+	}
+	fmt.Fprintf(stdout, "loadgen: submit %v (p50 %v, p95 %v, p99 %v), settle %v\n",
+		rep.SubmitWall.Round(time.Millisecond), rep.SubmitP50, rep.SubmitP95, rep.SubmitP99, rep.SettleWall.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "loadgen: %d settled, %.0f jobs/sec end to end\n", rep.Settled, rep.JobsPerSec)
 	return nil
 }

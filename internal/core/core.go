@@ -29,6 +29,7 @@ import (
 	"cloudqc/internal/place"
 	"cloudqc/internal/plan"
 	"cloudqc/internal/sched"
+	"cloudqc/internal/trace"
 )
 
 // Job is one tenant's circuit submission.
@@ -126,6 +127,22 @@ const (
 	WFQMode
 )
 
+// String names the mode as ParseMode spells it.
+func (m Mode) String() string {
+	switch m {
+	case BatchMode:
+		return "batch"
+	case FIFOMode:
+		return "fifo"
+	case EDFMode:
+		return "edf"
+	case WFQMode:
+		return "wfq"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
 // ParseMode maps a CLI mode name to its admission mode.
 func ParseMode(s string) (Mode, error) {
 	switch s {
@@ -194,6 +211,14 @@ type Config struct {
 	// fast and must not call back into the controller. Never fires for
 	// one-shot Run calls, which keep no status index.
 	OnTransition func(Transition)
+	// Trace, when non-nil, records virtual-time execution spans and JCT
+	// attribution for every job (see internal/trace). All hooks sit
+	// behind nil checks, so the nil default is the zero-cost off switch:
+	// an untraced run is bit-identical to one on a controller built
+	// before tracing existed. A federation hands one shared recorder to
+	// every shard so traces survive cross-shard rehoming; the recorder
+	// follows the controller's synchronization discipline.
+	Trace *trace.Recorder
 }
 
 // RunStats summarizes the control-loop work of the last Run, for
@@ -337,6 +362,9 @@ type activeJob struct {
 	// placedAt is the resume placement and firstPlacedAt the original —
 	// the one results report as PlacedAt/WaitTime.
 	firstPlacedAt float64
+	// tr caches the job's trace so the per-round hook skips the
+	// recorder's map; nil whenever tracing is off.
+	tr *trace.JobTrace
 }
 
 // release is a (time, placement) pair for computing qubits whose job
@@ -430,6 +458,12 @@ type runState struct {
 	reqBuf    []sched.Request
 	readyBuf  [][]int
 	statesBuf []*sched.JobState
+	// Traced-round scratch (per-active request counts, granted sums,
+	// and max path hops), touched only when cfg.Trace is set so the
+	// untraced round loop stays exactly as it was.
+	reqCountBuf []int
+	grantBuf    []int
+	hopsBuf     []int
 	// nextRound is the next shared EPR round's time. Round times advance
 	// by repeated EPRAttempt addition from the instant multi-tenant
 	// execution (re)started — exactly the float sequence the lock-step
@@ -603,6 +637,11 @@ func (st *runState) arrive(j *Job) {
 	}
 	st.ct.stats.Events++
 	st.queue = append(st.queue, j)
+	if tc := st.ct.cfg.Trace; tc != nil {
+		// A resume arrival rehomed from another shard finds its trace
+		// already open in the shared recorder; Arrive keeps it.
+		tc.Arrive(j.ID, j.Tenant, j.Arrival)
+	}
 	st.setStatus(j.ID, StatusQueued)
 	st.capacityChanged = true
 	st.requestTick(st.eng.Now())
@@ -682,6 +721,12 @@ func (st *runState) tick() {
 	// variant) would produce.
 	if !math.IsNaN(st.nextRound) && t >= st.nextRound {
 		ct.stats.Rounds++
+		traced := ct.cfg.Trace != nil
+		if traced {
+			st.reqCountBuf = zeroInts(st.reqCountBuf, len(st.active))
+			st.grantBuf = zeroInts(st.grantBuf, len(st.active))
+			st.hopsBuf = zeroInts(st.hopsBuf, len(st.active))
+		}
 		st.reqBuf = st.reqBuf[:0]
 		for len(st.readyBuf) < len(st.active) {
 			st.readyBuf = append(st.readyBuf, nil)
@@ -695,6 +740,14 @@ func (st *runState) tick() {
 				st.reqBuf[i].Tenant = aj.job.Tenant
 				st.reqBuf[i].TenantWeight = aj.job.Priority
 			}
+			if traced {
+				st.reqCountBuf[idx] = len(st.reqBuf) - base
+				for i := base; i < len(st.reqBuf); i++ {
+					if h := len(st.reqBuf[i].Path) - 1; h > st.hopsBuf[idx] {
+						st.hopsBuf[idx] = h
+					}
+				}
+			}
 		}
 		if len(st.reqBuf) > 0 {
 			for i := range st.budget {
@@ -702,8 +755,28 @@ func (st *runState) tick() {
 			}
 			alloc := ct.cfg.Policy.Allocate(st.reqBuf, st.budget, ct.rng)
 			for idx, aj := range st.active {
+				if !traced {
+					for _, u := range st.readyBuf[idx] {
+						aj.state.Attempt(u, alloc[sched.NodeKey{Job: idx, Node: u}], t, ct.cfg.Model, ct.rng)
+					}
+					continue
+				}
+				granted := 0
 				for _, u := range st.readyBuf[idx] {
-					aj.state.Attempt(u, alloc[sched.NodeKey{Job: idx, Node: u}], t, ct.cfg.Model, ct.rng)
+					g := alloc[sched.NodeKey{Job: idx, Node: u}]
+					aj.state.Attempt(u, g, t, ct.cfg.Model, ct.rng)
+					granted += g
+				}
+				st.grantBuf[idx] = granted
+			}
+		}
+		if traced {
+			// Every active traced job sees every round tick — including
+			// ready-empty ones — so the network-stall accumulator closes
+			// each attempt stretch at the round that follows it.
+			for idx, aj := range st.active {
+				if aj.tr != nil {
+					aj.tr.Round(t, len(st.readyBuf[idx]), st.reqCountBuf[idx], st.grantBuf[idx], st.hopsBuf[idx])
 				}
 			}
 		}
@@ -724,6 +797,11 @@ func (st *runState) tick() {
 		res.Finished = finished
 		res.JCT = finished - aj.job.Arrival
 		res.WaitTime = aj.firstPlacedAt - aj.job.Arrival
+		if aj.tr != nil {
+			// Before the status transition, so the service's done event
+			// already sees the finalized attribution.
+			ct.cfg.Trace.Settle(aj.tr, finished, aj.state.MaxFinish())
+		}
 		st.releases = append(st.releases, release{at: finished, placement: aj.placement})
 		st.setStatus(aj.job.ID, StatusCompleted)
 		if st.rescued != nil && st.rescued[aj.job.ID] {
@@ -742,6 +820,19 @@ func (st *runState) tick() {
 
 	st.maybePreempt(t)
 	st.scheduleNext(t)
+}
+
+// zeroInts returns buf resized to n entries, all zero, growing the
+// backing array only until it warms up to the run's active-set size.
+func zeroInts(buf []int, n int) []int {
+	for len(buf) < n {
+		buf = append(buf, 0)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // scheduleNext decides when the controller must wake again after a tick
@@ -784,6 +875,9 @@ func (st *runState) scheduleNext(t float64) {
 			if st.live {
 				for _, j := range st.queue {
 					st.results[j.ID].Failed = true
+					if tc := st.ct.cfg.Trace; tc != nil {
+						tc.Fail(j.ID, t)
+					}
 					st.setStatus(j.ID, StatusFailed)
 				}
 				st.queue = st.queue[:0]
@@ -847,10 +941,13 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 	for _, j := range arrived {
 		if j.Circuit.NumQubits() > totalComputing {
 			results[j.ID].Failed = true
+			if tc := ct.cfg.Trace; tc != nil {
+				tc.Fail(j.ID, t)
+			}
 			st.setStatus(j.ID, StatusFailed)
 			continue
 		}
-		pl, dag, prio, err := ct.compile(j)
+		pl, dag, prio, cacheHit, err := ct.compile(j)
 		if err != nil {
 			var infeasible *place.ErrInfeasible
 			if errors.As(err, &infeasible) {
@@ -875,10 +972,13 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 		if st != nil && st.resume != nil {
 			rs = st.resume[j.ID]
 		}
+		var wfqStart float64
+		wfqBilled := false
 		if ct.cfg.Mode == WFQMode && rs == nil {
 			// Bill only what was actually served: jobs bounced back to
 			// waiting must not inflate their tenant's virtual service.
-			ct.chargeWFQ(j)
+			wfqStart = ct.chargeWFQ(j)
+			wfqBilled = true
 		}
 		state := ct.takeJobState(dag, prio, t)
 		first := t
@@ -888,7 +988,15 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 			delete(st.resume, j.ID)
 			ct.preempt.Resumes++
 		}
-		active = append(active, &activeJob{job: j, state: state, placement: pl, placedAt: t, firstPlacedAt: first})
+		aj := &activeJob{job: j, state: state, placement: pl, placedAt: t, firstPlacedAt: first}
+		if tc := ct.cfg.Trace; tc != nil {
+			if tr := tc.Get(j.ID); tr != nil {
+				tr.Compiled(t, cacheHit, rs != nil)
+				tr.Place(t, ct.cfg.Mode.String(), wfqStart, wfqBilled, rs != nil)
+				aj.tr = tr
+			}
+		}
+		active = append(active, aj)
 		results[j.ID].RemoteGates = dag.Len()
 		results[j.ID].Placement = pl
 		if rs != nil {
@@ -916,16 +1024,17 @@ func (ct *Controller) admit(queue []*Job, active []*activeJob, results map[int]*
 // under the exact free snapshot the placer saw. Because the cached
 // placement was computed under an identical snapshot by a deterministic
 // placer, a hit is bit-identical to what the cold path would produce —
-// and necessarily still fits the QPUs it touches.
-func (ct *Controller) compile(j *Job) (*place.Placement, *sched.RemoteDAG, []int, error) {
+// and necessarily still fits the QPUs it touches. The hit flag reports
+// which path served the compile, for trace spans.
+func (ct *Controller) compile(j *Job) (*place.Placement, *sched.RemoteDAG, []int, bool, error) {
 	cl := ct.cfg.Cloud
 	if ct.planCache == nil {
 		pl, err := ct.cfg.Placer.Place(cl, j.Circuit)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, false, err
 		}
 		dag := sched.BuildRemoteDAG(j.Circuit, cl, pl.QubitToQPU, ct.cfg.Model.Latency)
-		return pl, dag, nil, nil
+		return pl, dag, nil, false, nil
 	}
 	free := ct.freeScratch[:0]
 	for i, n := 0, cl.NumQPUs(); i < n; i++ {
@@ -938,11 +1047,11 @@ func (ct *Controller) compile(j *Job) (*place.Placement, *sched.RemoteDAG, []int
 		Free:    plan.FreeSignature(free),
 	}
 	if e, ok := ct.planCache.Lookup(key, free); ok {
-		return &place.Placement{Circuit: j.Circuit, QubitToQPU: e.Assign}, e.DAG, e.Prio, nil
+		return &place.Placement{Circuit: j.Circuit, QubitToQPU: e.Assign}, e.DAG, e.Prio, true, nil
 	}
 	pl, err := ct.cfg.Placer.Place(cl, j.Circuit)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, false, err
 	}
 	dag := sched.BuildRemoteDAG(j.Circuit, cl, pl.QubitToQPU, ct.cfg.Model.Latency)
 	prio := dag.Priorities()
@@ -957,7 +1066,7 @@ func (ct *Controller) compile(j *Job) (*place.Placement, *sched.RemoteDAG, []int
 		DAG:       dag,
 		Prio:      prio,
 	})
-	return pl, dag, prio, nil
+	return pl, dag, prio, false, nil
 }
 
 // takeJobState builds a job's execution state, reusing a pooled
@@ -1179,11 +1288,12 @@ func (ct *Controller) wfqJobLess(a, b *Job) bool {
 }
 
 // chargeWFQ bills a successfully placed job to its tenant's virtual
-// service and advances the global virtual time to the job's start tag.
-// Starting at max(service, vtime) denies credit for idle spans: a
-// tenant that submitted nothing for a while competes from the current
-// virtual time, not from its stale low service.
-func (ct *Controller) chargeWFQ(j *Job) {
+// service and advances the global virtual time to the job's start tag,
+// which it returns (trace spans record it as the admission decision's
+// WFQ virtual start). Starting at max(service, vtime) denies credit
+// for idle spans: a tenant that submitted nothing for a while competes
+// from the current virtual time, not from its stale low service.
+func (ct *Controller) chargeWFQ(j *Job) float64 {
 	w := ct.wfq
 	s := w.slot(j.Tenant)
 	start := w.service[s]
@@ -1192,6 +1302,7 @@ func (ct *Controller) chargeWFQ(j *Job) {
 	}
 	w.service[s] = start + ct.intensity[j.ID]/j.weight()
 	w.vtime = start
+	return start
 }
 
 // collectRequests gathers one round's policy requests across the active

@@ -7,6 +7,7 @@ import (
 	"cloudqc/internal/des"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/plan"
+	"cloudqc/internal/trace"
 )
 
 // ErrDrained is returned by Submit, StepUntil, and Drain once a live
@@ -362,6 +363,10 @@ func (lc *LiveController) RunStats() RunStats { return lc.ct.stats }
 // counters (the zero Stats when caching is disabled) — surfaced by the
 // service layer on GET /v1/stats.
 func (lc *LiveController) PlanCacheStats() plan.Stats { return lc.ct.PlanCacheStats() }
+
+// Trace returns the configured span recorder (nil when tracing is
+// off).
+func (lc *LiveController) Trace() *trace.Recorder { return lc.ct.cfg.Trace }
 
 // ConfigurePlanCache re-bounds the plan cache mid-run: size > 0 sets
 // the LRU capacity, 0 resets to the default, negative disables caching

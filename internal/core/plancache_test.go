@@ -217,23 +217,29 @@ func TestPlanCacheCapacityInvalidation(t *testing.T) {
 	job := &Job{ID: 0, Circuit: c}
 
 	// Cold compile on the idle cloud populates the cache.
-	pl1, _, _, err := ct.compile(job)
+	pl1, _, _, hit1, err := ct.compile(job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s := ct.PlanCacheStats(); s.Hits != 0 || s.Misses != 1 {
 		t.Fatalf("after cold compile: %+v", s)
 	}
+	if hit1 {
+		t.Fatal("cold compile reported a cache hit")
+	}
 
 	// Same template, same idle cloud: must hit with the identical
 	// assignment, and the entry's cost metrics must match the place
 	// package's ground truth for that assignment.
-	pl2, dag2, _, err := ct.compile(job)
+	pl2, dag2, _, hit2, err := ct.compile(job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s := ct.PlanCacheStats(); s.Hits != 1 {
 		t.Fatalf("identical state did not hit: %+v", s)
+	}
+	if !hit2 {
+		t.Fatal("warm compile did not report a cache hit")
 	}
 	free := cfg.Cloud.FreeSnapshot()
 	entry, ok := ct.planCache.Lookup(plan.Key{
@@ -263,7 +269,7 @@ func TestPlanCacheCapacityInvalidation(t *testing.T) {
 	if err := cfg.Cloud.Reserve(used, cfg.Cloud.FreeComputing(used)); err != nil {
 		t.Fatal(err)
 	}
-	pl3, _, _, err := ct.compile(job)
+	pl3, _, _, hit3, err := ct.compile(job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,6 +277,9 @@ func TestPlanCacheCapacityInvalidation(t *testing.T) {
 	// above); the capacity change must cost a fresh miss.
 	if s := ct.PlanCacheStats(); s.Hits != 2 || s.Misses != 2 {
 		t.Fatalf("capacity change did not invalidate: %+v", s)
+	}
+	if hit3 {
+		t.Fatal("capacity-changed compile reported a cache hit")
 	}
 	if err := pl3.Validate(cfg.Cloud); err != nil {
 		t.Fatalf("post-change placement does not fit: %v", err)

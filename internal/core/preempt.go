@@ -218,7 +218,7 @@ func (st *runState) tryPreemptFor(trig *Job, t float64) bool {
 	for _, aj := range cands {
 		aj.placement.Release(ct.cfg.Cloud)
 		released++
-		if _, _, _, err := ct.compile(trig); err == nil {
+		if _, _, _, _, err := ct.compile(trig); err == nil {
 			fits = true
 			break
 		}
@@ -269,6 +269,12 @@ func (st *runState) preemptVictim(aj *activeJob, t float64) {
 	ct.releaseJobState(aj.state)
 	aj.state = nil
 	id := aj.job.ID
+	if aj.tr != nil {
+		// The suspension span opens here and closes at the resume
+		// placement — on whichever shard the federation rehomes it to,
+		// since the recorder is shared.
+		aj.tr.Preempt(t)
+	}
 	if ct.cfg.ExportPreempted && st.live && !st.draining {
 		// Federation re-routes the resume (possibly to another shard):
 		// this shard forgets the job entirely — result slot, status, and

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/place"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/trace"
+	"cloudqc/internal/workload"
+)
+
+// attrModes are the attribution figure's arms: the admission modes
+// whose queueing disciplines shape where a job's completion time goes.
+func attrModes() []core.Mode {
+	return []core.Mode{core.FIFOMode, core.EDFMode, core.WFQMode}
+}
+
+// AttributionRow is one (workload × arrival rate × admission mode)
+// cell: completion counts and the exact per-phase JCT attribution
+// summed over every settled job — the time-breakdown-vs-load figure
+// only the virtual-time tracer can draw, because its phases sum to the
+// JCT bitwise rather than being sampled.
+type AttributionRow struct {
+	Workload         string
+	MeanInterarrival float64
+	Mode             string
+	Completed        int
+	Failed           int
+	// Attr is the summed attribution across the cell's settled jobs
+	// (queue + compile + local + network + suspended == JCT holds for
+	// the sums exactly as it does per job).
+	Attr trace.Attribution
+}
+
+// Attribution traces where completion time goes — queue wait, network
+// stall, local compute, suspension — against load for each admission
+// mode: every cell runs the three-tenant mix under one mode with a
+// fresh span recorder and sums the per-job attributions. As the
+// interarrival gap shrinks, the queue fraction's growth curve separates
+// the modes; the network fraction stays a property of the placements.
+//
+// Seeding follows the package convention: the per-task seed depends on
+// (workload, rep) only, so every load level and every mode replays
+// identical tenant mixes.
+func Attribution(o Options, process string, perTenant int, interarrivals []float64) ([]AttributionRow, error) {
+	o = o.withDefaults()
+	if perTenant == 0 {
+		perTenant = 4
+	}
+	if perTenant < 0 {
+		return nil, fmt.Errorf("exp: negative per-tenant stream size %d", perTenant)
+	}
+	if len(interarrivals) == 0 {
+		interarrivals = []float64{300, 1000, 4000}
+	}
+	workloads := workload.All()
+	modes := attrModes()
+	points := len(workloads) * len(interarrivals) * len(modes)
+	type attrRep struct {
+		completed, failed int
+		attr              trace.Attribution
+	}
+	reps, err := runIndexed(o.workers(), points*o.Reps, func(i int) (attrRep, error) {
+		pt, rep := i/o.Reps, i%o.Reps
+		wi := pt / (len(interarrivals) * len(modes))
+		ii := pt / len(modes) % len(interarrivals)
+		mi := pt % len(modes)
+		seed := taskSeed(o.Seed, wi, rep)
+		mix := workload.DefaultTenantMix(workloads[wi], perTenant, process, interarrivals[ii])
+		jobs, err := workload.MultiTenant(mix, seed)
+		if err != nil {
+			return attrRep{}, err
+		}
+		pCfg := place.DefaultConfig()
+		pCfg.Seed = seed
+		rec := trace.New()
+		ct, err := core.NewController(core.Config{
+			Cloud:  o.cloudFor(),
+			Placer: place.NewCloudQC(pCfg),
+			Model:  o.model(),
+			Mode:   modes[mi],
+			Seed:   seed,
+			Trace:  rec,
+		})
+		if err != nil {
+			return attrRep{}, err
+		}
+		if _, err := ct.Run(jobs); err != nil {
+			return attrRep{}, fmt.Errorf("attribution %s %s ia=%v rep %d: %w",
+				workloads[wi].Name, modes[mi], interarrivals[ii], rep, err)
+		}
+		var r attrRep
+		for _, ta := range rec.Tenants() {
+			r.completed += ta.Completed
+			r.failed += ta.Failed
+			r.attr.JCT += ta.JCT
+			r.attr.Queue += ta.Queue
+			r.attr.Compile += ta.Compile
+			r.attr.Local += ta.Local
+			r.attr.Network += ta.Network
+			r.attr.Suspended += ta.Suspended
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AttributionRow, 0, points)
+	for pt := 0; pt < points; pt++ {
+		wi := pt / (len(interarrivals) * len(modes))
+		ii := pt / len(modes) % len(interarrivals)
+		mi := pt % len(modes)
+		row := AttributionRow{
+			Workload:         workloads[wi].Name,
+			MeanInterarrival: interarrivals[ii],
+			Mode:             modes[mi].String(),
+		}
+		for rep := 0; rep < o.Reps; rep++ {
+			r := reps[pt*o.Reps+rep]
+			row.Completed += r.completed
+			row.Failed += r.failed
+			row.Attr.JCT += r.attr.JCT
+			row.Attr.Queue += r.attr.Queue
+			row.Attr.Compile += r.attr.Compile
+			row.Attr.Local += r.attr.Local
+			row.Attr.Network += r.attr.Network
+			row.Attr.Suspended += r.attr.Suspended
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAttribution renders attribution rows as the time-breakdown
+// figure: mean JCT per completed job and each phase's fraction of the
+// summed completion time.
+func RenderAttribution(rows []AttributionRow) string {
+	headers := []string{"Workload", "Interarrival", "Mode", "Done", "Fail",
+		"MeanJCT", "Queue", "Network", "Local", "Suspended"}
+	var out [][]string
+	for _, r := range rows {
+		mean := 0.0
+		if r.Completed > 0 {
+			mean = r.Attr.JCT / float64(r.Completed)
+		}
+		out = append(out, []string{
+			r.Workload,
+			stats.F(r.MeanInterarrival),
+			r.Mode,
+			fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.Failed),
+			stats.F(mean),
+			fmtShare(r.Attr.Queue, r.Attr.JCT),
+			fmtShare(r.Attr.Network, r.Attr.JCT),
+			fmtShare(r.Attr.Local, r.Attr.JCT),
+			fmtShare(r.Attr.Suspended, r.Attr.JCT),
+		})
+	}
+	return stats.Table(headers, out)
+}
+
+// fmtShare renders phase/total as a percentage, dashing out an empty
+// cell and clamping the floating-point dust the derived local phase
+// may carry below zero.
+func fmtShare(phase, total float64) string {
+	if total <= 0 {
+		return "-"
+	}
+	f := phase / total
+	if f < 0 {
+		f = 0
+	}
+	return fmt.Sprintf("%.1f%%", f*100)
+}

@@ -32,6 +32,7 @@ import (
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
 	"cloudqc/internal/plan"
+	"cloudqc/internal/trace"
 )
 
 // Config assembles a Federation.
@@ -63,6 +64,12 @@ type Config struct {
 	// shards (the fairness-leaning setting); 0 means DefaultSpillDepth;
 	// negative disables spillover entirely.
 	SpillDepth int
+	// Trace, when non-nil, records every shard's execution spans into
+	// one shared recorder — traces follow a job across cross-shard
+	// rehomes, and the federation stamps each rehome's routing decision
+	// onto the trace. Shard.Trace must be nil (the federation installs
+	// this recorder on every shard).
+	Trace *trace.Recorder
 }
 
 // DefaultSpillDepth is the affinity router's backlog-slack default: an
@@ -89,6 +96,9 @@ type Federation struct {
 	// epr is the shared model's round length (validated identical
 	// across shards by construction — one template).
 	epr float64
+	// trace is the shared span recorder every shard writes into (nil
+	// when tracing is off).
+	trace *trace.Recorder
 }
 
 // New validates the configuration and builds the federation: shard i
@@ -110,6 +120,9 @@ func New(cfg Config) (*Federation, error) {
 	if cfg.Shard.SharedWFQ != nil {
 		return nil, errors.New("fed: Config.Shard.SharedWFQ must be nil (the federation owns the shared clock)")
 	}
+	if cfg.Shard.Trace != nil {
+		return nil, errors.New("fed: Config.Shard.Trace must be nil (use Config.Trace; the recorder is shared)")
+	}
 	if cfg.Recorders != nil && len(cfg.Recorders) != n {
 		return nil, fmt.Errorf("fed: %d recorders for %d shards", len(cfg.Recorders), n)
 	}
@@ -117,6 +130,7 @@ func New(cfg Config) (*Federation, error) {
 		wfq:     core.NewWFQClock(),
 		shardOf: make(map[int]int),
 		seq:     make([]int, n),
+		trace:   cfg.Trace,
 	}
 	for i := 0; i < n; i++ {
 		if cfg.Clouds[i] == nil {
@@ -134,6 +148,7 @@ func New(cfg Config) (*Federation, error) {
 		if cfg.Recorders != nil {
 			scfg.Recorder = cfg.Recorders[i]
 		}
+		scfg.Trace = cfg.Trace
 		if cfg.NewPlacer != nil {
 			scfg.Placer = cfg.NewPlacer(i)
 		}
@@ -165,6 +180,7 @@ func Wrap(lc *core.LiveController) *Federation {
 		shardOf: make(map[int]int),
 		seq:     make([]int, 1),
 		epr:     lc.EPRAttempt(),
+		trace:   lc.Trace(),
 	}
 }
 
@@ -271,9 +287,22 @@ func (f *Federation) StepUntil(t float64) error {
 // plan-cache entry — and re-enters that shard under its original ID.
 // The resume's arrival event fires on the target shard's next step.
 func (f *Federation) rehome() error {
-	for _, s := range f.shards {
+	for src, s := range f.shards {
 		for _, pj := range s.Controller().TakePreempted() {
+			before := f.router.stats
 			tgt := f.router.route(pj.Job)
+			if f.trace != nil {
+				if tr := f.trace.Get(pj.Job.ID); tr != nil {
+					// The rehome happened at the preemption instant — the
+					// open suspension's From — and the decision kind falls
+					// out of which router counter the route ticked.
+					at := 0.0
+					if n := len(tr.Suspends); n > 0 {
+						at = tr.Suspends[n-1].From
+					}
+					tr.Rehome(at, src, tgt, rehomeKind(before, f.router.stats))
+				}
+			}
 			if err := f.shards[tgt].Controller().SubmitResume(pj); err != nil {
 				return fmt.Errorf("fed: resuming job %d on shard %d: %w", pj.Job.ID, tgt, err)
 			}
@@ -281,6 +310,24 @@ func (f *Federation) rehome() error {
 		}
 	}
 	return nil
+}
+
+// rehomeKind names the router decision a route() call made, by diffing
+// its cumulative counters around the call. "direct" covers the 1-shard
+// degenerate route, which ticks nothing.
+func rehomeKind(before, after RouterStats) string {
+	switch {
+	case after.AffinityHits > before.AffinityHits:
+		return "affinity"
+	case after.Spills > before.Spills:
+		return "spill"
+	case after.Cold > before.Cold:
+		return "cold"
+	case after.Random > before.Random:
+		return "random"
+	default:
+		return "direct"
+	}
 }
 
 // Drain runs every shard's backlog to completion and retires the
@@ -413,6 +460,10 @@ func (f *Federation) ConfigurePlanCache(size int) {
 // RouterStats reports the admission router's cumulative decision
 // counters.
 func (f *Federation) RouterStats() RouterStats { return f.router.stats }
+
+// Trace returns the federation's shared span recorder (nil when
+// tracing is off).
+func (f *Federation) Trace() *trace.Recorder { return f.trace }
 
 // Routing returns the configured routing discipline.
 func (f *Federation) Routing() Routing { return f.router.routing }

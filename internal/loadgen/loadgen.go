@@ -65,9 +65,13 @@ type Report struct {
 	// SettleWall the additional wait until every accepted job settled.
 	SubmitWall time.Duration `json:"submit_wall"`
 	SettleWall time.Duration `json:"settle_wall"`
-	// SubmitP50/P99 are per-request submit latencies.
+	// SubmitP50/P95/P99 are per-request submit latencies.
 	SubmitP50 time.Duration `json:"submit_p50"`
+	SubmitP95 time.Duration `json:"submit_p95"`
 	SubmitP99 time.Duration `json:"submit_p99"`
+	// StatusCounts tallies every HTTP status code the submission stream
+	// saw — the breakdown behind Accepted/Rejected/Shed/Other.
+	StatusCounts map[int]int `json:"status_counts,omitempty"`
 	// Settled is the daemon's settled count when the run finished;
 	// JobsPerSec is accepted jobs over the full wall time (submission +
 	// settling) — client-observed end-to-end throughput.
@@ -153,6 +157,10 @@ func Run(cfg Config) (*Report, error) {
 				resp.Body.Close()
 				lat = append(lat, time.Since(t0))
 				counts[w].Submitted++
+				if counts[w].StatusCounts == nil {
+					counts[w].StatusCounts = make(map[int]int)
+				}
+				counts[w].StatusCounts[resp.StatusCode]++
 				switch resp.StatusCode {
 				case http.StatusAccepted:
 					counts[w].Accepted++
@@ -173,17 +181,22 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: %w", firstErr)
 	}
 	var lats []time.Duration
+	rep.StatusCounts = make(map[int]int)
 	for w := range counts {
 		rep.Submitted += counts[w].Submitted
 		rep.Accepted += counts[w].Accepted
 		rep.Rejected += counts[w].Rejected
 		rep.Shed += counts[w].Shed
 		rep.Other += counts[w].Other
+		for code, n := range counts[w].StatusCounts {
+			rep.StatusCounts[code] += n
+		}
 		lats = append(lats, perWorker[w]...)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	if n := len(lats); n > 0 {
 		rep.SubmitP50 = lats[n/2]
+		rep.SubmitP95 = lats[n*95/100]
 		rep.SubmitP99 = lats[n*99/100]
 	}
 

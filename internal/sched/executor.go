@@ -153,6 +153,18 @@ func (s *JobState) JCT() float64 {
 	return s.maxFinish + s.dag.Tail
 }
 
+// MaxFinish returns the completion time of the latest-finishing remote
+// gate so far (zero before any completes, or for placements with no
+// remote gates). For a done job, JCT() == MaxFinish() plus the trailing
+// local critical path — the split virtual-time tracing uses to end the
+// network-stall phase where local-only compute takes over.
+func (s *JobState) MaxFinish() float64 {
+	if s.dag.Len() == 0 {
+		return 0
+	}
+	return s.maxFinish
+}
+
 // Ready returns the node ids allowed to attempt EPR generation in the
 // round starting at time t. Completed nodes are compacted out of the
 // runnable list lazily.

@@ -27,6 +27,12 @@ const (
 	EventResumed = "resumed"
 	// EventDone: the job settled; Status is "completed" or "failed".
 	EventDone = "done"
+	// EventDropped: a synthetic marker, never stored in the ring — a
+	// resuming client's cursor predates the oldest retained event, so
+	// Missed events were overwritten before it reconnected. Emitted
+	// once at the head of the replay; the stream then continues from
+	// the oldest retained event.
+	EventDropped = "dropped"
 )
 
 // Event is one SSE payload: job Job (owned by tenant Tenant) underwent
@@ -44,6 +50,9 @@ type Event struct {
 	VTime  float64 `json:"vtime"`
 	// Status is the job's settled state on EventDone, empty otherwise.
 	Status string `json:"status,omitempty"`
+	// Missed counts ring-overwritten events on an EventDropped marker,
+	// zero otherwise.
+	Missed int `json:"missed,omitempty"`
 }
 
 // eventLog is a bounded ring of events with a broadcast channel:
@@ -54,7 +63,11 @@ type eventLog struct {
 	start int // ring index of the oldest retained event
 	n     int
 	seq   int // next sequence number
-	wake  chan struct{}
+	// dropped counts events the full ring overwrote — the
+	// cloudqcd_events_dropped_total series, and the reason resuming
+	// clients can see a "dropped" marker.
+	dropped int
+	wake    chan struct{}
 }
 
 func newEventLog(capacity int) *eventLog {
@@ -72,14 +85,25 @@ func (l *eventLog) append(ev Event) {
 	} else {
 		l.buf[l.start] = ev
 		l.start = (l.start + 1) % len(l.buf)
+		l.dropped++
 	}
 	close(l.wake)
 	l.wake = make(chan struct{})
 }
 
-// after returns copies of every retained event with Seq > since.
+// after returns copies of every retained event with Seq > since. A
+// cursor that predates the oldest retained event gets a synthetic
+// EventDropped marker first, telling the client how many events the
+// ring overwrote in its gap; the marker's Seq is one below the oldest
+// retained event so the stream's cursor stays monotone through it.
 func (l *eventLog) after(since int) []Event {
 	var out []Event
+	if oldest := l.seq - l.n; since >= 0 && since+1 < oldest {
+		out = append(out, Event{
+			Seq: oldest - 1, Type: EventDropped, Job: -1, Tenant: -1, Shard: -1,
+			Missed: oldest - 1 - since,
+		})
+	}
 	for i := 0; i < l.n; i++ {
 		ev := l.buf[(l.start+i)%len(l.buf)]
 		if ev.Seq > since {
@@ -189,7 +213,9 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jobID int)
 		done := false
 		for _, ev := range evs {
 			since = ev.Seq
-			if jobID >= 0 && ev.Job != jobID {
+			// Dropped markers pass the per-job filter: a gap in the ring
+			// may have swallowed this job's events too.
+			if jobID >= 0 && ev.Job != jobID && ev.Type != EventDropped {
 				continue
 			}
 			writeSSE(w, ev)

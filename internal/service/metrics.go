@@ -41,6 +41,9 @@ var metricFamilies = []metricFamily{
 	{"cloudqcd_resumes_total", "counter", "Preempted jobs resumed onto a fresh placement."},
 	{"cloudqcd_rescued_deadlines_total", "counter", "Preemption-triggering jobs that then met their deadline."},
 	{"cloudqcd_router_decisions_total", "counter", "Admission-router decisions (label: kind=affinity|spill|cold|random)."},
+	{"cloudqcd_events_dropped_total", "counter", "SSE events overwritten by the full event ring before any client read them."},
+	{"cloudqcd_trace_jobs_total", "counter", "Job traces held by the span recorder (0 while tracing is off)."},
+	{"cloudqcd_jct_attribution_cx_total", "counter", "Settled virtual time per phase, CX units (labels: tenant, phase=queue|compile|local|network|suspended)."},
 	{"cloudqcd_wal_enabled", "gauge", "1 when a write-ahead log is attached."},
 	{"cloudqcd_wal_records_total", "counter", "WAL records appended since open."},
 	{"cloudqcd_wal_bytes_total", "counter", "WAL bytes appended since open."},
@@ -150,6 +153,26 @@ func (s *Server) renderMetrics(buf *bytes.Buffer) {
 			n    int64
 		}{{"affinity", rt.AffinityHits}, {"spill", rt.Spills}, {"cold", rt.Cold}, {"random", rt.Random}} {
 			fmt.Fprintf(buf, "cloudqcd_router_decisions_total{kind=%q} %d\n", kv.kind, kv.n)
+		}
+	})
+	plain("cloudqcd_events_dropped_total", float64(s.events.dropped))
+	trc := s.f.Trace()
+	traceJobs := 0
+	if trc != nil {
+		traceJobs = trc.Len()
+	}
+	plain("cloudqcd_trace_jobs_total", float64(traceJobs))
+	emit("cloudqcd_jct_attribution_cx_total", func() {
+		if trc == nil {
+			return
+		}
+		for _, ta := range trc.Tenants() {
+			for _, pv := range []struct {
+				phase string
+				v     float64
+			}{{"queue", ta.Queue}, {"compile", ta.Compile}, {"local", ta.Local}, {"network", ta.Network}, {"suspended", ta.Suspended}} {
+				fmt.Fprintf(buf, "cloudqcd_jct_attribution_cx_total{tenant=\"%d\",phase=%q} %s\n", ta.Tenant, pv.phase, fmtFloat(pv.v))
+			}
 		}
 	})
 	walEnabled := 0.0

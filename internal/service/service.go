@@ -17,6 +17,8 @@
 //	                          backend is drained
 //	GET  /v1/jobs/{id}        one job's status and (once settled) result
 //	GET  /v1/jobs/{id}/events one job's lifecycle as server-sent events
+//	GET  /v1/jobs/{id}/trace  one job's virtual-time span tree and JCT
+//	                          attribution (404 while tracing is off)
 //	GET  /v1/events           every job's lifecycle events (SSE)
 //	GET  /v1/stats            stream aggregates: online stats +
 //	                          per-tenant SLO + routing counters and
@@ -57,6 +59,7 @@ import (
 	"cloudqc/internal/plan"
 	"cloudqc/internal/qasm"
 	"cloudqc/internal/qlib"
+	"cloudqc/internal/trace"
 	"cloudqc/internal/wal"
 )
 
@@ -240,6 +243,7 @@ func (s *Server) routes() []route {
 		{Route{"POST", "/v1/jobs", "submit a circuit for execution"}, s.handleSubmit},
 		{Route{"GET", "/v1/jobs/{id}", "one job's status and result"}, s.handleJob},
 		{Route{"GET", "/v1/jobs/{id}/events", "one job's lifecycle as server-sent events"}, s.handleJobEvents},
+		{Route{"GET", "/v1/jobs/{id}/trace", "one job's span tree and JCT attribution"}, s.handleTrace},
 		{Route{"GET", "/v1/events", "all jobs' lifecycle events (SSE)"}, s.handleEvents},
 		{Route{"GET", "/v1/stats", "stream aggregates: online, SLO, routing"}, s.handleStats},
 		{Route{"GET", "/v1/cluster", "cluster state under the virtual clock"}, s.handleCluster},
@@ -619,6 +623,88 @@ func (s *Server) jobResponse(id int) JobResponse {
 	return resp
 }
 
+// TraceResponse is GET /v1/jobs/{id}/trace: one job's span tree in
+// virtual time. Attribution's phases sum to its JCT bitwise for
+// completed jobs (local compute is derived as the remainder at
+// settlement). Rounds holds the most recent retained round spans —
+// when RoundsDropped > 0 the ring overwrote the oldest
+// RoundsDropped of the RoundsTotal recorded.
+type TraceResponse struct {
+	ID      int     `json:"id"`
+	Tenant  int     `json:"tenant"`
+	Arrival float64 `json:"arrival"`
+	// Finished is the settlement instant; meaningful once Done.
+	Finished float64 `json:"finished"`
+	Done     bool    `json:"done"`
+	Failed   bool    `json:"failed"`
+
+	Attribution trace.Attribution `json:"attribution"`
+
+	// Admit is present once the job has been placed.
+	Admit         *trace.AdmitSpan    `json:"admit,omitempty"`
+	Compiles      []trace.CompileSpan `json:"compiles,omitempty"`
+	Rounds        []trace.RoundSpan   `json:"rounds,omitempty"`
+	Suspends      []trace.SuspendSpan `json:"suspends,omitempty"`
+	Rehomes       []trace.RehomeSpan  `json:"rehomes,omitempty"`
+	RoundsTotal   int                 `json:"rounds_total"`
+	RoundsDropped int                 `json:"rounds_dropped"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "job id must be an integer", 0)
+		return
+	}
+	rec := s.f.Trace()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled (start the daemon with -trace)", 0)
+		return
+	}
+	s.mu.Lock()
+	if err := s.advance(s.cfg.Now()); err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	tr := rec.Get(id)
+	var resp TraceResponse
+	if tr != nil {
+		resp = traceResponse(tr)
+	}
+	s.mu.Unlock()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no trace for job %d", id), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceResponse renders one trace; callers hold s.mu (the recorder
+// shares the federation's synchronization).
+func traceResponse(tr *trace.JobTrace) TraceResponse {
+	resp := TraceResponse{
+		ID:            tr.ID,
+		Tenant:        tr.Tenant,
+		Arrival:       tr.Arrival,
+		Finished:      tr.Finished,
+		Done:          tr.Done,
+		Failed:        tr.Failed,
+		Attribution:   tr.Attr,
+		Compiles:      tr.Compiles,
+		Rounds:        tr.Rounds(nil),
+		Suspends:      tr.Suspends,
+		Rehomes:       tr.Rehomes,
+		RoundsTotal:   tr.RoundsTotal,
+		RoundsDropped: tr.RoundsDropped,
+	}
+	if tr.Placed() {
+		admit := tr.Admit
+		resp.Admit = &admit
+	}
+	return resp
+}
+
 // StatsResponse is GET /v1/stats: the accepted stream's aggregates so
 // far. Online covers settled jobs (completed + failed); SLO carries
 // deadline attainment and cross-tenant fairness in AggregateSLO's
@@ -646,6 +732,10 @@ type StatsResponse struct {
 	// admission-router counters, and the per-shard breakdown. A
 	// single-controller server shows one shard with zeroed counters.
 	Federation FederationWire `json:"federation"`
+	// Attribution is the per-tenant JCT attribution aggregate — exact
+	// sums over each tenant's settled traces, so every row's phases sum
+	// to its JCT bitwise. Present only while tracing is on.
+	Attribution []trace.TenantAttribution `json:"attribution,omitempty"`
 }
 
 // FederationWire is /v1/stats' federated view.
@@ -749,6 +839,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCache:  s.f.PlanCacheStats(),
 		Preemption: s.f.PreemptStats(),
 		Federation: s.federationWire(),
+	}
+	if rec := s.f.Trace(); rec != nil {
+		resp.Attribution = rec.Tenants()
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestArriveIdempotent: the first arrival pins Arrival; re-arrivals
+// (a resume re-entering admission on another shard) return the same
+// trace untouched.
+func TestArriveIdempotent(t *testing.T) {
+	r := New()
+	tr := r.Arrive(3, 1, 10)
+	if tr.ID != 3 || tr.Tenant != 1 || tr.Arrival != 10 {
+		t.Fatalf("fresh trace %+v", tr)
+	}
+	again := r.Arrive(3, 1, 99)
+	if again != tr {
+		t.Fatal("re-arrival built a second trace")
+	}
+	if tr.Arrival != 10 {
+		t.Fatalf("re-arrival moved Arrival to %v", tr.Arrival)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if r.Get(4) != nil {
+		t.Fatal("Get on an unknown id returned a trace")
+	}
+}
+
+// TestAttributionSumInvariant walks one job through a full scripted
+// lifecycle — queue, place, EPR rounds with stall gaps, preempt,
+// resume, settle — and checks every phase exactly, including the
+// bitwise sum-to-JCT identity.
+func TestAttributionSumInvariant(t *testing.T) {
+	r := New()
+	tr := r.Arrive(0, 2, 5)
+	tr.Place(15, "wfq", 3.5, true, false) // queue = 10
+	tr.Compiled(15, false, false)
+	tr.Round(20, 2, 2, 1, 1)            // not attempting before: no stall yet
+	tr.Round(28, 1, 1, 1, 2)            // network += 8
+	tr.Round(30, 0, 0, 0, 0)            // network += 2, attempting ends
+	tr.Round(40, 3, 3, 2, 1)            // idle 30→40 is NOT network
+	tr.Preempt(46)                      // network += 6, suspension opens
+	tr.Place(60, "wfq", 0, false, true) // suspended += 14
+	tr.Compiled(60, true, true)
+	tr.Round(70, 1, 1, 1, 1)
+	r.Settle(tr, 100, 90) // trailing stall 70→90 closes at MaxFinish
+
+	want := Attribution{
+		JCT:       95, // 100 - 5
+		Queue:     10,
+		Compile:   0,
+		Network:   8 + 2 + 6 + 20,
+		Suspended: 14,
+	}
+	want.Local = want.JCT - want.Queue - want.Compile - want.Network - want.Suspended
+	if tr.Attr != want {
+		t.Fatalf("attribution %+v, want %+v", tr.Attr, want)
+	}
+	if sum := tr.Attr.Queue + tr.Attr.Compile + tr.Attr.Local + tr.Attr.Network + tr.Attr.Suspended; sum != tr.Attr.JCT {
+		t.Fatalf("phases sum to %v, JCT %v", sum, tr.Attr.JCT)
+	}
+	if !tr.Done || tr.Failed || tr.Finished != 100 {
+		t.Fatalf("settled trace %+v", tr)
+	}
+	if !tr.Placed() {
+		t.Fatal("Placed() false after placement")
+	}
+	if tr.Admit.At != 15 || tr.Admit.Mode != "wfq" || tr.Admit.WFQStart != 3.5 || !tr.Admit.WFQ {
+		t.Fatalf("admit span %+v", tr.Admit)
+	}
+	if len(tr.Compiles) != 2 || tr.Compiles[0].CacheHit || !tr.Compiles[1].CacheHit || !tr.Compiles[1].Resume {
+		t.Fatalf("compile spans %+v", tr.Compiles)
+	}
+	if len(tr.Suspends) != 1 || tr.Suspends[0] != (SuspendSpan{From: 46, To: 60, Resumed: true}) {
+		t.Fatalf("suspend spans %+v", tr.Suspends)
+	}
+	if tr.RoundsTotal != 4 || tr.RoundsDropped != 0 {
+		t.Fatalf("rounds total/dropped %d/%d", tr.RoundsTotal, tr.RoundsDropped)
+	}
+
+	// Settle is final: a second settlement or failure must not
+	// double-count into the tenant aggregate.
+	r.Settle(tr, 200, 200)
+	r.Fail(0, 200)
+	tas := r.Tenants()
+	if len(tas) != 1 || tas[0].Completed != 1 || tas[0].Failed != 0 {
+		t.Fatalf("tenant aggregates %+v", tas)
+	}
+	if tas[0].JCT != want.JCT || tas[0].Suspended != want.Suspended {
+		t.Fatalf("tenant sums %+v, want %+v", tas[0], want)
+	}
+}
+
+// TestRoundRing: past the ring capacity the oldest spans are
+// overwritten and counted, retained spans unroll oldest-first, and the
+// network accumulation stays exact through the drops.
+func TestRoundRing(t *testing.T) {
+	const n = DefaultRoundCap + 40
+	r := New()
+	tr := r.Arrive(0, 0, 0)
+	tr.Place(0, "fifo", 0, false, false)
+	for i := 0; i < n; i++ {
+		tr.Round(float64(i+1), 1, 2, 1, 1)
+	}
+	if tr.RoundsTotal != n || tr.RoundsDropped != n-DefaultRoundCap {
+		t.Fatalf("total/dropped %d/%d, want %d/%d", tr.RoundsTotal, tr.RoundsDropped, n, n-DefaultRoundCap)
+	}
+	spans := tr.Rounds(nil)
+	if len(spans) != DefaultRoundCap {
+		t.Fatalf("retained %d spans, want %d", len(spans), DefaultRoundCap)
+	}
+	for i, sp := range spans {
+		if want := float64(n - DefaultRoundCap + i + 1); sp.At != want {
+			t.Fatalf("span %d at %v, want %v (not oldest-first)", i, sp.At, want)
+		}
+	}
+	r.Settle(tr, float64(n), float64(n))
+	// Every inter-round interval was an attempting stretch: the stall
+	// accounting must not notice the ring wrapping.
+	if tr.Attr.Network != float64(n-1) {
+		t.Fatalf("network %v, want %v", tr.Attr.Network, float64(n-1))
+	}
+}
+
+// TestFailUnplaced: a job that dies in the queue is all queue time,
+// with the zero JCT the controller reports.
+func TestFailUnplaced(t *testing.T) {
+	r := New()
+	r.Arrive(7, 4, 5)
+	r.Fail(7, 30)
+	tr := r.Get(7)
+	if !tr.Done || !tr.Failed || tr.Finished != 30 {
+		t.Fatalf("failed trace %+v", tr)
+	}
+	if tr.Attr != (Attribution{Queue: 25}) {
+		t.Fatalf("failed attribution %+v, want queue-only 25", tr.Attr)
+	}
+	if tas := r.Tenants(); len(tas) != 1 || tas[0].Failed != 1 || tas[0].Completed != 0 {
+		t.Fatalf("tenant aggregates %+v", tas)
+	}
+	// Failing an id the recorder never saw is a no-op, not a panic.
+	r.Fail(99, 1)
+}
+
+// TestRecorderOrdering: Traces sorts by job id and Tenants by tenant
+// id, and each tenant aggregate is exactly the sum of its traces.
+func TestRecorderOrdering(t *testing.T) {
+	r := New()
+	for _, c := range []struct {
+		id, tenant            int
+		arrive, place, finish float64
+	}{{2, 1, 0, 4, 20}, {0, 0, 1, 2, 9}, {1, 1, 2, 3, 30}} {
+		tr := r.Arrive(c.id, c.tenant, c.arrive)
+		tr.Place(c.place, "fifo", 0, false, false)
+		r.Settle(tr, c.finish, c.finish)
+	}
+	trs := r.Traces()
+	if len(trs) != 3 || trs[0].ID != 0 || trs[1].ID != 1 || trs[2].ID != 2 {
+		t.Fatalf("trace order %v", []int{trs[0].ID, trs[1].ID, trs[2].ID})
+	}
+	tas := r.Tenants()
+	if len(tas) != 2 || tas[0].Tenant != 0 || tas[1].Tenant != 1 {
+		t.Fatalf("tenant order %+v", tas)
+	}
+	want := TenantAttribution{Tenant: 1, Completed: 2}
+	for _, tr := range []*JobTrace{trs[1], trs[2]} {
+		want.JCT += tr.Attr.JCT
+		want.Queue += tr.Attr.Queue
+		want.Local += tr.Attr.Local
+	}
+	if !reflect.DeepEqual(tas[1], want) {
+		t.Fatalf("tenant 1 aggregate %+v, want %+v", tas[1], want)
+	}
+}
