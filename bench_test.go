@@ -573,6 +573,76 @@ func BenchmarkPreemption(b *testing.B) {
 	b.ReportMetric(preempted/float64(b.N), "preemptions/run")
 }
 
+// BenchmarkFaultRecovery drives the fault injector end to end: a
+// sparse-chain stream under staggered QPU outages and a dead-link
+// window, with checkpoint-rescue and route-around on. Outage windows
+// land while the wide chains hold the cloud, so every iteration
+// exercises eviction, re-enqueue, resume, and dead-edge rerouting; the
+// rounds/run, events/run, and rescue counters are deterministic, so CI
+// gates on them alongside the Preemption family.
+func BenchmarkFaultRecovery(b *testing.B) {
+	const seed = 7
+	mix := []TenantSpec{
+		{Tenant: 0, Priority: 1,
+			Workload: Workload{Name: "SparseChains", Circuits: []string{"ghz_n127", "cat_n130"}},
+			Jobs:     8, Process: "poisson", MeanInterarrival: 3000},
+		{Tenant: 1, Priority: 2,
+			Workload: Workload{Name: "WideQFT", Circuits: []string{"qft_n63"}},
+			Jobs:     4, Process: "uniform", MeanInterarrival: 5000},
+	}
+	// (1,2) is a non-bridge edge of the seed-1 topology: killing it
+	// leaves the 1-4-2 detour, so route-around engages instead of
+	// exhausting retry budgets (QPU 0 is a leaf — its edge is a bridge).
+	plan := &FaultPlan{
+		Recovery:    FaultRecoveryRescue,
+		RouteAround: true,
+		Events: []FaultEvent{
+			{Kind: FaultQPUOutage, QPU: 0, From: 500, To: 4500},
+			{Kind: FaultQPUOutage, QPU: 3, From: 6000, To: 10000},
+			{Kind: FaultQPUOutage, QPU: 5, From: 12000, To: 16000},
+			{Kind: FaultLinkDegrade, U: 1, V: 2, Scale: 0, From: 0, To: 40000},
+		},
+	}
+	var rounds, events, rescued float64
+	for i := 0; i < b.N; i++ {
+		jobs, err := MultiTenantJobs(mix, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := DefaultPlacerConfig()
+		pcfg.Seed = seed
+		ct, err := NewCluster(ClusterConfig{
+			Cloud:  NewRandomCloud(7, 0.3, 20, 5, 1),
+			Placer: NewPlacer(pcfg),
+			Mode:   WFQMode,
+			Seed:   seed,
+			Faults: plan,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ct.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Failed {
+				b.Fatal("a rescue leaked a job")
+			}
+		}
+		fs := ct.FaultStats()
+		if fs.RescuedOutage == 0 {
+			b.Fatal("no eviction rescued: the bench regime lost its contention")
+		}
+		rounds += float64(ct.LastRunStats().Rounds)
+		events += float64(ct.LastRunStats().Events)
+		rescued += float64(fs.RescuedOutage)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/run")
+	b.ReportMetric(events/float64(b.N), "events/run")
+	b.ReportMetric(rescued/float64(b.N), "rescued/run")
+}
+
 // Allocation-policy micro-benchmarks: the per-round cost of dividing
 // the communication-qubit budget across competing gates. sortByPriority
 // used to copy the request slice every round; these benches pin the

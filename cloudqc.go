@@ -51,6 +51,7 @@ import (
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
 	"cloudqc/internal/epr"
+	"cloudqc/internal/fault"
 	"cloudqc/internal/fed"
 	"cloudqc/internal/graph"
 	"cloudqc/internal/metrics"
@@ -216,6 +217,23 @@ type (
 	// TenantAttribution is one tenant's exact per-phase attribution
 	// aggregate over its settled traces.
 	TenantAttribution = trace.TenantAttribution
+	// FaultPlan is a deterministic virtual-time fault schedule — QPU
+	// outages, link degradations, federation shard drains — plus the
+	// recovery knobs it exercises (checkpoint-rescue vs fail, bounded
+	// retry, dead-edge route-around). Set it via ClusterConfig.Faults
+	// (core-tier faults) or FederationConfig.Faults (the federation
+	// splits the plan per shard and intercepts shard drains); nil keeps
+	// every fault hook dormant at zero cost, bit-identically to the
+	// fault-free controller.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault of a FaultPlan, or one live
+	// injection (Federation.Inject; POST /v1/faults on the service).
+	FaultEvent = fault.Event
+	// FaultStats counts injected faults by kind and the recovery work
+	// they forced (Cluster.FaultStats / LiveController.FaultStats /
+	// Federation.FaultStats; the HTTP service reports it on
+	// GET /v1/stats).
+	FaultStats = fault.Stats
 )
 
 // ErrDrained reports an operation on a live controller or federation
@@ -270,6 +288,29 @@ const (
 // ParsePreemptPolicy maps a policy name — "off" (or empty), "rescue",
 // or "priority" — to its PreemptPolicy.
 func ParsePreemptPolicy(s string) (PreemptPolicy, error) { return core.ParsePreempt(s) }
+
+// Fault kinds and recovery policies (FaultEvent.Kind, FaultPlan.Recovery).
+const (
+	// FaultQPUOutage takes one QPU down for an interval; resident jobs
+	// are checkpoint-rescued (or failed under FaultRecoveryNone).
+	FaultQPUOutage = fault.KindQPUOutage
+	// FaultLinkDegrade scales one link's EPR success probability (0
+	// kills it) for an interval.
+	FaultLinkDegrade = fault.KindLinkDegrade
+	// FaultShardDrain evacuates one federation shard: resident jobs
+	// checkpoint and rehome through the router, then the shard leaves
+	// the routing set.
+	FaultShardDrain = fault.KindShardDrain
+	// FaultRecoveryRescue checkpoints jobs evicted by an outage and
+	// re-enqueues them (the default).
+	FaultRecoveryRescue = fault.RecoveryRescue
+	// FaultRecoveryNone fails evicted jobs outright (the ablation arm).
+	FaultRecoveryNone = fault.RecoveryNone
+)
+
+// LoadFaultPlan reads and validates a JSON fault plan file (the
+// cloudqcd -faults flag's format).
+func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.Load(path) }
 
 // Federation admission-routing modes.
 const (

@@ -22,6 +22,9 @@
 //	preempt                  preemptible execution: SLO attainment and
 //	                         p99 JCT vs load with preemption off,
 //	                         deadline-rescue, and priority
+//	faults                   fault injection: SLO attainment and p99 JCT
+//	                         vs QPU-outage rate with no-recovery,
+//	                         checkpoint-rescue, and rescue+route-around
 //	federation               federated controller tier: throughput, JCT
 //	                         and fairness vs shard count, with the
 //	                         affinity-vs-random routing ablation
@@ -207,6 +210,9 @@ func commandTable() []command {
 		command{"preempt", "experiments",
 			"preemptible execution: SLO attainment and p99 JCT vs load for preemption off/rescue/priority (-process, -jobs per tenant, -interarrivals)",
 			runPreempt},
+		command{"faults", "experiments",
+			"fault injection: SLO attainment and p99 JCT vs QPU-outage rate for no-recovery/rescue/rescue+reroute (-process, -jobs per tenant, -interarrivals as outage counts)",
+			runFaults},
 		command{"federation", "experiments",
 			"federated controller tier: throughput/JCT/fairness vs shard count, affinity vs random routing (-jobs per tenant)",
 			runFederation},
@@ -401,6 +407,37 @@ func runPreempt(cc *cmdContext) error {
 	fmt.Printf("preemption: %s arrivals, 3 tenants x %d jobs, EDF admission, attainment/p99 JCT vs arrival rate for preemption off/rescue/priority\n",
 		cc.process, cc.jobs)
 	fmt.Print(exp.RenderPreemption(rows))
+	return nil
+}
+
+// runFaults renders the fault-injection figure: the three-tenant
+// deadline mix under EDF admission against a deterministic schedule of
+// QPU outages and dead-link windows, sweeping the outage count — SLO
+// attainment and p99 JCT vs failure rate for no-recovery,
+// checkpoint-rescue, and rescue+route-around.
+func runFaults(cc *cmdContext) error {
+	if cc.jobs <= 0 {
+		return fmt.Errorf("-jobs must be positive, got %d", cc.jobs)
+	}
+	rateList, err := parseRates(cc.rates)
+	if err != nil {
+		return err
+	}
+	rates := make([]int, 0, len(rateList))
+	for _, r := range rateList {
+		n := int(r)
+		if float64(n) != r || n < 0 {
+			return fmt.Errorf("outage counts must be non-negative integers, got %v", r)
+		}
+		rates = append(rates, n)
+	}
+	rows, err := exp.Faults(cc.o, cc.process, cc.jobs, rates)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("faults: %s arrivals, 3 tenants x %d jobs, EDF admission, attainment/p99 JCT vs QPU-outage rate for none/rescue/rescue+reroute recovery\n",
+		cc.process, cc.jobs)
+	fmt.Print(exp.RenderFaults(rows))
 	return nil
 }
 

@@ -46,6 +46,13 @@
 //	-plancache   compile-once plan cache LRU capacity (0 = default 256,
 //	             negative disables caching; GET /v1/stats reports
 //	             hit/miss counters, merged across shards)
+//	-faults      JSON fault plan path: a deterministic virtual-time
+//	             schedule of QPU outages, link degradations, and shard
+//	             drains, plus recovery knobs (checkpoint-rescue vs fail,
+//	             retry budget, dead-edge route-around); shard drains
+//	             need -shards > 1. Faults can also be injected live on
+//	             POST /v1/faults; GET /v1/stats and /metrics report
+//	             injection and rescue counters (empty disables)
 //	-wal         write-ahead log path: every accepted submission is
 //	             fsynced before admission, boot replays the log so a
 //	             restart recovers in-flight jobs bit-identically, and a
@@ -66,8 +73,9 @@
 //	             disables profiling)
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events,
-// GET /v1/jobs/{id}/trace, GET /v1/events, GET /v1/stats,
-// GET /v1/cluster, GET /metrics — see docs/API.md for the wire format
+// GET /v1/jobs/{id}/trace, GET /v1/events, POST /v1/faults,
+// GET /v1/stats, GET /v1/cluster, GET /metrics — see docs/API.md for
+// the wire format
 // and docs/OPERATIONS.md for the operator guide (recovery semantics,
 // watermarks, metrics reference, profiling runbook).
 package main
@@ -88,6 +96,7 @@ import (
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
 	"cloudqc/internal/epr"
+	"cloudqc/internal/fault"
 	"cloudqc/internal/fed"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
@@ -121,29 +130,30 @@ type daemon struct {
 func build(args []string) (*daemon, error) {
 	fs := flag.NewFlagSet("cloudqcd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		qpus      = fs.Int("qpus", 20, "number of QPUs in the cloud")
-		edgeProb  = fs.Float64("edge-prob", 0.3, "random topology edge probability")
-		computing = fs.Int("computing", 20, "computing qubits per QPU")
-		comm      = fs.Int("comm", 5, "communication qubits per QPU")
-		eprProb   = fs.Float64("epr-prob", 0.3, "EPR generation success probability")
-		seed      = fs.Int64("seed", 1, "controller seed")
-		mode      = fs.String("mode", "fifo", "admission mode: batch, fifo, edf, or wfq")
-		preempt   = fs.String("preempt", "off", "preemption policy: off, rescue, or priority")
-		weighted  = fs.Bool("tenant-weighted", false, "tenant-weighted EPR allocation policy")
-		shards    = fs.Int("shards", 1, "federation shard count (1 = single controller)")
-		routing   = fs.String("routing", "affinity", "federation routing: affinity or random")
-		spill     = fs.Int("spill", 0, "affinity spillover backlog slack (0 = default, negative disables)")
-		timescale = fs.Float64("timescale", 1000, "virtual CX units per wall second")
-		rate      = fs.Float64("rate", 0, "per-tenant submissions per second (0 = unlimited)")
-		burst     = fs.Int("burst", 0, "per-tenant burst capacity (default ceil(rate))")
-		quota     = fs.Int("quota", 0, "per-tenant max in-flight jobs (0 = unlimited)")
-		planCache = fs.Int("plancache", 0, "plan-cache LRU capacity (0 = default, negative disables)")
-		walPath   = fs.String("wal", "", "write-ahead log path (empty disables durability)")
-		degrade   = fs.Int("degrade", 0, "backlog watermark that degrades admission to FIFO (0 = never)")
-		shedAt    = fs.Int("shed", 0, "backlog watermark that sheds submissions with 503 (0 = never)")
-		traceOn   = fs.Bool("trace", false, "record virtual-time execution spans and serve /v1/jobs/{id}/trace")
-		pprofAddr = fs.String("pprof", "", "net/http/pprof listen address on a private mux (empty disables)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		qpus       = fs.Int("qpus", 20, "number of QPUs in the cloud")
+		edgeProb   = fs.Float64("edge-prob", 0.3, "random topology edge probability")
+		computing  = fs.Int("computing", 20, "computing qubits per QPU")
+		comm       = fs.Int("comm", 5, "communication qubits per QPU")
+		eprProb    = fs.Float64("epr-prob", 0.3, "EPR generation success probability")
+		seed       = fs.Int64("seed", 1, "controller seed")
+		mode       = fs.String("mode", "fifo", "admission mode: batch, fifo, edf, or wfq")
+		preempt    = fs.String("preempt", "off", "preemption policy: off, rescue, or priority")
+		weighted   = fs.Bool("tenant-weighted", false, "tenant-weighted EPR allocation policy")
+		shards     = fs.Int("shards", 1, "federation shard count (1 = single controller)")
+		routing    = fs.String("routing", "affinity", "federation routing: affinity or random")
+		spill      = fs.Int("spill", 0, "affinity spillover backlog slack (0 = default, negative disables)")
+		timescale  = fs.Float64("timescale", 1000, "virtual CX units per wall second")
+		rate       = fs.Float64("rate", 0, "per-tenant submissions per second (0 = unlimited)")
+		burst      = fs.Int("burst", 0, "per-tenant burst capacity (default ceil(rate))")
+		quota      = fs.Int("quota", 0, "per-tenant max in-flight jobs (0 = unlimited)")
+		planCache  = fs.Int("plancache", 0, "plan-cache LRU capacity (0 = default, negative disables)")
+		faultsPath = fs.String("faults", "", "JSON fault plan path (empty disables fault injection)")
+		walPath    = fs.String("wal", "", "write-ahead log path (empty disables durability)")
+		degrade    = fs.Int("degrade", 0, "backlog watermark that degrades admission to FIFO (0 = never)")
+		shedAt     = fs.Int("shed", 0, "backlog watermark that sheds submissions with 503 (0 = never)")
+		traceOn    = fs.Bool("trace", false, "record virtual-time execution spans and serve /v1/jobs/{id}/trace")
+		pprofAddr  = fs.String("pprof", "", "net/http/pprof listen address on a private mux (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -192,6 +202,13 @@ func build(args []string) (*daemon, error) {
 		Clouds:     clouds,
 		Routing:    rt,
 		SpillDepth: *spill,
+	}
+	if *faultsPath != "" {
+		plan, err := fault.Load(*faultsPath)
+		if err != nil {
+			return nil, err
+		}
+		fedCfg.Faults = plan
 	}
 	if *traceOn {
 		// One shared recorder across every shard: traces follow jobs

@@ -5,11 +5,18 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"cloudqc/internal/graph"
 )
+
+// ErrInsufficientCapacity reports a Reserve request exceeding a QPU's
+// free computing qubits. Recovery paths that re-place evicted jobs
+// match on it with errors.Is to distinguish "no room right now" from a
+// genuine accounting bug (which panics in Release instead).
+var ErrInsufficientCapacity = errors.New("insufficient free computing capacity")
 
 // QPU is one quantum processing unit. Computing qubits are reserved for
 // the lifetime of a placed circuit; communication qubits are claimed and
@@ -150,8 +157,8 @@ func (c *Cloud) Reserve(i, n int) error {
 		return fmt.Errorf("cloud: negative reservation %d", n)
 	}
 	if q.FreeComputing() < n {
-		return fmt.Errorf("cloud: QPU %d has %d free computing qubits, need %d",
-			i, q.FreeComputing(), n)
+		return fmt.Errorf("cloud: QPU %d has %d free computing qubits, need %d: %w",
+			i, q.FreeComputing(), n, ErrInsufficientCapacity)
 	}
 	q.used += n
 	return nil

@@ -25,6 +25,7 @@ import (
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/des"
 	"cloudqc/internal/epr"
+	"cloudqc/internal/fault"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
 	"cloudqc/internal/plan"
@@ -219,6 +220,14 @@ type Config struct {
 	// every shard so traces survive cross-shard rehoming; the recorder
 	// follows the controller's synchronization discipline.
 	Trace *trace.Recorder
+	// Faults, when non-nil, schedules the plan's QPU-outage and
+	// link-degrade events on the run's engine (see internal/fault and
+	// fault.go in this package). The plan must be core-tier: shard
+	// drains belong to fed.Config.Faults, which splits a full plan with
+	// ForShard. Event shard indices are ignored here — the plan is
+	// taken to be this controller's own slice. Nil keeps every fault
+	// hook dormant: the run is bit-identical to a fault-free controller.
+	Faults *fault.Plan
 }
 
 // RunStats summarizes the control-loop work of the last Run, for
@@ -249,6 +258,9 @@ type Controller struct {
 	// preempt counts preemption activity; reset with the per-run
 	// scheduling state.
 	preempt PreemptStats
+	// faultStats counts fault-injection and recovery activity; reset
+	// with the per-run scheduling state.
+	faultStats fault.Stats
 	// planCache memoizes compile artifacts (placement, remote DAG) per
 	// (circuit fingerprint, free-capacity signature); nil when caching
 	// is disabled or the placer is not deterministic.
@@ -305,6 +317,9 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	if cfg.Preempt < PreemptOff || cfg.Preempt > PreemptPriority {
 		return nil, fmt.Errorf("core: unknown preemption policy %d", cfg.Preempt)
+	}
+	if err := validateFaults(&cfg); err != nil {
+		return nil, err
 	}
 	for i := 0; i < cfg.Cloud.NumQPUs(); i++ {
 		if cfg.Cloud.QPU(i).Comm < 1 {
@@ -393,6 +408,7 @@ func (ct *Controller) resetScheduling(jobHint int) int {
 	ct.intensity = make(map[int]float64, jobHint)
 	ct.stats = RunStats{}
 	ct.preempt = PreemptStats{}
+	ct.faultStats = fault.Stats{}
 	totalComputing := 0
 	for i := 0; i < ct.cfg.Cloud.NumQPUs(); i++ {
 		totalComputing += ct.cfg.Cloud.QPU(i).Computing
@@ -510,6 +526,12 @@ type runState struct {
 	resume   map[int]*resumeState
 	rescued  map[int]bool
 	exported []PreemptedJob
+	// faults is the fault injector's overlay (see fault.go), nil
+	// without a plan so the fault-free path carries no behavior change.
+	faults *faultState
+	// halted marks an evacuated shard (fed drained it): stale event
+	// closures still in the engine must not resurrect exported jobs.
+	halted bool
 }
 
 // Run executes the jobs to completion and returns their results ordered
@@ -541,6 +563,9 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 		st.resume = make(map[int]*resumeState)
 		st.rescued = make(map[int]bool)
 	}
+	// Fault events land on the engine before the workload's arrivals,
+	// so at a shared instant the fault transition precedes the arrival.
+	st.faultInit()
 	first := math.Inf(1)
 	for _, j := range jobs {
 		j := j
@@ -565,18 +590,20 @@ func (ct *Controller) Run(jobs []*Job) ([]*JobResult, error) {
 	st.eng.Run()
 	if st.err != nil {
 		// Failed runs must not leak reservations either: release every
-		// still-active placement and pending release so the shared cloud
-		// is usable for the next Run.
+		// still-active placement, pending release, and outage hold so
+		// the shared cloud is usable for the next Run.
 		for _, aj := range st.active {
 			aj.placement.Release(ct.cfg.Cloud)
 		}
 		for _, r := range st.releases {
 			r.placement.Release(ct.cfg.Cloud)
 		}
+		st.releaseFaultHolds()
 		return nil, st.err
 	}
 
-	// Final releases restore the cloud.
+	// Final releases restore the cloud. Outage holds were returned by
+	// their qpuUp events (the engine drains every scheduled fault).
 	for _, r := range st.releases {
 		r.placement.Release(ct.cfg.Cloud)
 	}
@@ -631,6 +658,12 @@ func (st *runState) setStatusReason(id int, s JobStatus, why TransitionReason) {
 // lock-step loop, which only re-ran admission after a release and could
 // strand an arrival on an idle cloud until some other job finished.
 func (st *runState) arrive(j *Job) {
+	if st.halted {
+		// Evacuated shard: the job was exported for rehoming (Evacuate
+		// adjusted pendingArrivals); the stale closure must not
+		// resurrect it here.
+		return
+	}
 	st.pendingArrivals--
 	if st.err != nil {
 		return
@@ -686,6 +719,11 @@ func (st *runState) tick() {
 		}
 	}
 	st.releases = kept
+	if st.faults != nil {
+		// Capacity a matured release just returned on a downed QPU goes
+		// straight back into the outage hold.
+		st.faultTopUp()
+	}
 
 	// Admission: try placing waiting jobs. Admitting onto an idle cloud
 	// (re)starts the round clock at this instant, matching the lock-step
@@ -749,22 +787,31 @@ func (st *runState) tick() {
 				}
 			}
 		}
+		var alloc map[sched.NodeKey]int
 		if len(st.reqBuf) > 0 {
 			for i := range st.budget {
 				st.budget[i] = ct.cfg.Cloud.QPU(i).Comm
 			}
-			alloc := ct.cfg.Policy.Allocate(st.reqBuf, st.budget, ct.rng)
+			if f := st.faults; f != nil {
+				// A downed QPU generates no EPR pairs for the interval.
+				for i := range st.budget {
+					if f.down[i] > 0 {
+						st.budget[i] = 0
+					}
+				}
+			}
+			alloc = ct.cfg.Policy.Allocate(st.reqBuf, st.budget, ct.rng)
 			for idx, aj := range st.active {
 				if !traced {
 					for _, u := range st.readyBuf[idx] {
-						aj.state.Attempt(u, alloc[sched.NodeKey{Job: idx, Node: u}], t, ct.cfg.Model, ct.rng)
+						st.attempt(aj.state, u, alloc[sched.NodeKey{Job: idx, Node: u}], t)
 					}
 					continue
 				}
 				granted := 0
 				for _, u := range st.readyBuf[idx] {
 					g := alloc[sched.NodeKey{Job: idx, Node: u}]
-					aj.state.Attempt(u, g, t, ct.cfg.Model, ct.rng)
+					st.attempt(aj.state, u, g, t)
 					granted += g
 				}
 				st.grantBuf[idx] = granted
@@ -779,6 +826,12 @@ func (st *runState) tick() {
 					aj.tr.Round(t, len(st.readyBuf[idx]), st.reqCountBuf[idx], st.grantBuf[idx], st.hopsBuf[idx])
 				}
 			}
+		}
+		if st.faults != nil {
+			// After the traced Round hooks so a retry-failed job's spans
+			// close in recording order; before retirement so a job that
+			// completed this round retires instead of failing.
+			st.faultRetryPass(t, alloc)
 		}
 		st.nextRound = t + ct.cfg.Model.EPRAttempt
 	}
@@ -863,6 +916,11 @@ func (st *runState) scheduleNext(t float64) {
 		}
 		if !math.IsInf(next, 1) {
 			st.requestTick(next)
+		} else if st.faults != nil && st.faults.anyDown() {
+			// Queued jobs may be waiting on capacity an outage is
+			// holding; the pending qpuUp event wakes the controller and
+			// retries admission before any unplaceable verdict.
+			return
 		} else if len(st.queue) > 0 && st.pendingArrivals == 0 && math.IsNaN(st.tickAt) {
 			// The tickAt guard covers preemption's same-instant re-admission
 			// tick: the queue holds jobs a committed preemption just made

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudqc/internal/fault"
+	"cloudqc/internal/sched"
+)
+
+// This file is the core tier of the fault injector (internal/fault):
+// QPU outages and link degradations scheduled on the run's own
+// discrete-event engine, plus the recovery paths they exercise —
+// checkpoint-rescue of evicted jobs (reusing the preemption resume
+// machinery) and the bounded retry / route-around policy for remote
+// gates crossing degraded links. Every hook sits behind a nil
+// st.faults check, so a run without a FaultPlan is bit-identical to
+// the pre-fault controller (TestFaultOffDifferential). Shard drains
+// are the federation tier's concern (fed.Config.Faults); NewController
+// rejects them.
+
+// faultState is the live fault overlay of one run.
+type faultState struct {
+	plan *fault.Plan
+	// down is the per-QPU outage depth (overlapping outages nest);
+	// hold the computing qubits the injector has reserved on each
+	// downed QPU so admission cannot place there. Trailing releases
+	// maturing mid-outage are swept into hold by faultTopUp.
+	down []int
+	hold []int
+	// scale maps a degraded edge (sorted endpoints) to its effective
+	// per-attempt success probability — already validated and scaled by
+	// epr.Model.DegradedProb, so 0 means a dead link and nothing is
+	// ever negative. Edges absent from the map are healthy.
+	scale map[[2]int]float64
+	// retries counts each job's failed remote-gate rounds across
+	// degraded links toward plan.Budget().
+	retries map[int]int
+	// base is the model's fault-free success probability; probFn the
+	// per-edge probability closure handed to AttemptDegraded, bound
+	// once so the round hot path does not allocate a method value.
+	base   float64
+	probFn func(a, b int) float64
+}
+
+// edgeKey canonicalizes an undirected edge.
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (f *faultState) prob(a, b int) float64 {
+	if p, ok := f.scale[edgeKey(a, b)]; ok {
+		return p
+	}
+	return f.base
+}
+
+// anyDown reports whether any QPU is currently held down — in which
+// case a queued job with nothing else running is waiting for the
+// pending recovery event, not unplaceable.
+func (f *faultState) anyDown() bool {
+	for _, d := range f.down {
+		if d > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pathDegradation reports whether any edge of an entanglement path is
+// degraded, and whether one is outright dead (probability 0).
+func (f *faultState) pathDegradation(path []int) (degraded, dead bool) {
+	for k := 0; k+1 < len(path); k++ {
+		if p, ok := f.scale[edgeKey(path[k], path[k+1])]; ok {
+			degraded = true
+			if p == 0 {
+				dead = true
+			}
+		}
+	}
+	return degraded, dead
+}
+
+// validateFaults range-checks a core-tier fault plan against the cloud
+// and the EPR model at construction time, so a bad plan fails loudly
+// in NewController instead of mid-run.
+func validateFaults(cfg *Config) error {
+	p := cfg.Faults
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	topo := cfg.Cloud.Topology()
+	for i, e := range p.Events {
+		switch e.Kind {
+		case fault.KindShardDrain:
+			return fmt.Errorf("core: fault event %d is a shard_drain — a federation-tier fault (fed.Config.Faults splits plans with ForShard)", i)
+		case fault.KindQPUOutage:
+			if e.QPU >= cfg.Cloud.NumQPUs() {
+				return fmt.Errorf("core: fault event %d downs QPU %d, cloud has %d", i, e.QPU, cfg.Cloud.NumQPUs())
+			}
+		case fault.KindLinkDegrade:
+			if e.U >= topo.N() || e.V >= topo.N() || !topo.HasEdge(e.U, e.V) {
+				return fmt.Errorf("core: fault event %d degrades nonexistent link (%d, %d)", i, e.U, e.V)
+			}
+			// The satellite guarantee: validate at the same checkpoint
+			// the fault layer scales through, so a degraded probability
+			// can hit exactly 0 but never go negative.
+			if _, err := cfg.Model.DegradedProb(e.Scale); err != nil {
+				return fmt.Errorf("core: fault event %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// faultEnsure lazily builds the run's fault overlay (live injection may
+// arm it on a controller configured without a plan).
+func (st *runState) faultEnsure(p *fault.Plan) *faultState {
+	if st.faults == nil {
+		n := st.ct.cfg.Cloud.NumQPUs()
+		f := &faultState{
+			plan:    p,
+			down:    make([]int, n),
+			hold:    make([]int, n),
+			scale:   make(map[[2]int]float64),
+			retries: make(map[int]int),
+			base:    st.ct.cfg.Model.SuccessProb,
+		}
+		f.probFn = f.prob
+		st.faults = f
+	}
+	return st.faults
+}
+
+// faultInit arms a configured fault plan: the overlay is built and
+// every event's start/end lands on the engine as a priority event, so
+// at a shared instant faults fire before the controller tick — an
+// outage starting exactly at an arrival is seen by that arrival's
+// admission. Called once, before any workload event is scheduled.
+func (st *runState) faultInit() {
+	p := st.ct.cfg.Faults
+	if p == nil {
+		return
+	}
+	st.faultEnsure(p)
+	for _, e := range p.Events {
+		st.scheduleFault(e)
+	}
+}
+
+// scheduleFault lands one validated event's transitions on the engine.
+func (st *runState) scheduleFault(e fault.Event) {
+	guard := func(fn func()) func() {
+		return func() {
+			if st.err != nil || st.halted {
+				return
+			}
+			fn()
+		}
+	}
+	switch e.Kind {
+	case fault.KindQPUOutage:
+		st.eng.SchedulePriority(e.From, guard(func() { st.qpuDown(e.QPU, e.From) }))
+		st.eng.SchedulePriority(e.To, guard(func() { st.qpuUp(e.QPU, e.To) }))
+	case fault.KindLinkDegrade:
+		st.eng.SchedulePriority(e.From, guard(func() { st.linkDegrade(e.U, e.V, e.Scale, e.From) }))
+		st.eng.SchedulePriority(e.To, guard(func() { st.linkRestore(e.U, e.V) }))
+	}
+}
+
+// qpuDown takes QPU q down: jobs holding computing qubits there are
+// released and either checkpoint-rescued (re-enqueued for re-placement
+// elsewhere, keeping id/tenant/WFQ billing exactly like preemption) or
+// failed under RecoveryNone, and the QPU's free capacity is reserved
+// into hold so admission cannot place onto it until qpuUp.
+func (st *runState) qpuDown(q int, t float64) {
+	ct := st.ct
+	f := st.faults
+	ct.faultStats.QPUOutages++
+	f.down[q]++
+	if f.down[q] > 1 {
+		return // nested outage: victims already gone, capacity already held
+	}
+	evicted := false
+	for _, aj := range st.active {
+		if !placementUses(aj.placement.QubitToQPU, q) {
+			continue
+		}
+		aj.placement.Release(ct.cfg.Cloud)
+		if f.plan.Rescue() {
+			ct.faultStats.RescuedOutage++
+			st.rescueVictim(aj, t, fault.KindQPUOutage)
+		} else {
+			ct.faultStats.FailedOutage++
+			st.failVictim(aj, t, fault.KindQPUOutage)
+		}
+		evicted = true
+	}
+	if evicted {
+		st.compactActive()
+		st.capacityChanged = true
+	}
+	if free := ct.cfg.Cloud.FreeComputing(q); free > 0 {
+		if err := ct.cfg.Cloud.Reserve(q, free); err != nil {
+			st.err = fmt.Errorf("core: holding downed QPU %d: %w", q, err)
+			return
+		}
+		f.hold[q] += free
+	}
+	st.requestTick(t)
+}
+
+// qpuUp ends an outage: the held capacity returns and admission retries
+// at this instant.
+func (st *runState) qpuUp(q int, t float64) {
+	f := st.faults
+	f.down[q]--
+	if f.down[q] > 0 {
+		return
+	}
+	if f.hold[q] > 0 {
+		st.ct.cfg.Cloud.Release(q, f.hold[q])
+		f.hold[q] = 0
+	}
+	st.capacityChanged = true
+	st.requestTick(t)
+}
+
+// linkDegrade scales one edge's EPR success probability for the
+// interval. The effective probability goes through DegradedProb — the
+// satellite validation point — so it may hit exactly 0 (a dead link)
+// but never goes negative. At most one degrade is active per edge: an
+// overlapping event overwrites, and the earliest end clears.
+func (st *runState) linkDegrade(u, v int, scale, t float64) {
+	ct := st.ct
+	ct.faultStats.LinkDegrades++
+	p, err := ct.cfg.Model.DegradedProb(scale)
+	if err != nil {
+		st.err = fmt.Errorf("core: degrading link (%d, %d) at %g: %w", u, v, t, err)
+		return
+	}
+	st.faults.scale[edgeKey(u, v)] = p
+}
+
+func (st *runState) linkRestore(u, v int) {
+	delete(st.faults.scale, edgeKey(u, v))
+}
+
+// placementUses reports whether a qubit→QPU assignment touches QPU q.
+func placementUses(qubitToQPU []int, q int) bool {
+	for _, p := range qubitToQPU {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// compactActive drops evicted entries (state nil) from the active set.
+func (st *runState) compactActive() {
+	remaining := st.active[:0]
+	for _, aj := range st.active {
+		if aj.state != nil {
+			remaining = append(remaining, aj)
+		}
+	}
+	st.active = remaining
+}
+
+// rescueVictim checkpoints one evicted job whose reservations the
+// caller already released — preemptVictim's twin on the fault path,
+// with ReasonEvicted transitions and a fault span. The checkpoint
+// deliberately skips the Checkpointable gate: a failure forfeits
+// in-flight partial entanglement, which is physically what an outage
+// does, and Checkpoint snapshots exactly the completed gates.
+func (st *runState) rescueVictim(aj *activeJob, t float64, kind string) {
+	ct := st.ct
+	cp := aj.state.Checkpoint()
+	ct.releaseJobState(aj.state)
+	aj.state = nil
+	id := aj.job.ID
+	if aj.tr != nil {
+		aj.tr.Fault(t, kind)
+		aj.tr.Preempt(t)
+	}
+	if ct.cfg.ExportPreempted && st.live && !st.draining {
+		// Federation re-routes the resume exactly like a preemption
+		// export: this shard forgets the job so SubmitResume can
+		// re-validate it wherever the router rehomes it.
+		if st.status != nil {
+			st.notify(Transition{JobID: id, From: st.status[id], To: StatusQueued, At: t, Reason: ReasonEvicted})
+		}
+		delete(st.results, id)
+		delete(st.status, id)
+		st.exported = append(st.exported, PreemptedJob{Job: aj.job, cp: cp, firstPlacedAt: aj.firstPlacedAt})
+		return
+	}
+	if st.resume == nil {
+		st.resume = make(map[int]*resumeState) // PreemptOff runs have no resume map yet
+	}
+	st.resume[id] = &resumeState{cp: cp, firstPlacedAt: aj.firstPlacedAt}
+	st.queue = append(st.queue, aj.job)
+	st.setStatusReason(id, StatusQueued, ReasonEvicted)
+}
+
+// failVictim fails one evicted job outright (RecoveryNone, or an
+// exhausted retry budget). The caller already released its placement.
+func (st *runState) failVictim(aj *activeJob, t float64, kind string) {
+	ct := st.ct
+	ct.releaseJobState(aj.state)
+	aj.state = nil
+	res := st.results[aj.job.ID]
+	res.Failed = true
+	res.PlacedAt, res.Finished, res.JCT, res.WaitTime = 0, 0, 0, 0
+	res.RemoteGates = 0
+	res.Placement = nil
+	if aj.tr != nil {
+		aj.tr.Fault(t, kind)
+	}
+	if tc := ct.cfg.Trace; tc != nil {
+		tc.Fail(aj.job.ID, t)
+	}
+	st.setStatus(aj.job.ID, StatusFailed)
+}
+
+// faultTopUp sweeps capacity freed on a downed QPU (a trailing release
+// maturing mid-outage) into the outage hold, so the interval guarantee
+// — nothing places onto a down QPU — survives release timing.
+func (st *runState) faultTopUp() {
+	f := st.faults
+	cl := st.ct.cfg.Cloud
+	for q := range f.down {
+		if f.down[q] == 0 {
+			continue
+		}
+		if free := cl.FreeComputing(q); free > 0 {
+			if err := cl.Reserve(q, free); err != nil {
+				st.err = fmt.Errorf("core: re-holding downed QPU %d: %w", q, err)
+				return
+			}
+			f.hold[q] += free
+		}
+	}
+}
+
+// releaseFaultHolds returns every outage hold to the cloud — the
+// error-path and evacuation counterpart of qpuUp's release, so a
+// poisoned or drained run never leaks the injector's reservations.
+func (st *runState) releaseFaultHolds() {
+	f := st.faults
+	if f == nil {
+		return
+	}
+	for q, n := range f.hold {
+		if n > 0 {
+			st.ct.cfg.Cloud.Release(q, n)
+			f.hold[q] = 0
+		}
+	}
+}
+
+// attempt dispatches one ready node's EPR attempt: the fault-free path
+// calls Attempt untouched; with any degrade active, AttemptDegraded
+// draws per-edge probabilities — same draw count, so runs are
+// deterministic and a vacuous overlay reproduces Attempt bit-for-bit.
+func (st *runState) attempt(s *sched.JobState, u, pairs int, t float64) {
+	f := st.faults
+	if f == nil || len(f.scale) == 0 {
+		s.Attempt(u, pairs, t, st.ct.cfg.Model, st.ct.rng)
+		return
+	}
+	s.AttemptDegraded(u, pairs, t, st.ct.cfg.Model, st.ct.rng, f.probFn)
+}
+
+// faultRetryPass runs after a round's attempts: each granted node still
+// short of entanglement whose path crosses a degraded edge burns one
+// retry — or, when the path is outright dead and the plan allows it,
+// reroutes onto a live path and pays nothing. Jobs that exhaust their
+// retry budget fail cleanly and release their capacity.
+func (st *runState) faultRetryPass(t float64, alloc map[sched.NodeKey]int) {
+	f := st.faults
+	if len(f.scale) == 0 || alloc == nil {
+		return
+	}
+	ct := st.ct
+	budget := f.plan.Budget()
+	exhausted := false
+	for idx, aj := range st.active {
+		if aj.state.Done() {
+			continue // completed this round: retire, don't fail on a spent budget
+		}
+		for _, u := range st.readyBuf[idx] {
+			if alloc[sched.NodeKey{Job: idx, Node: u}] <= 0 || aj.state.HopsLeft(u) == 0 {
+				continue
+			}
+			degraded, dead := f.pathDegradation(aj.state.Path(u))
+			if !degraded {
+				continue
+			}
+			if dead && f.plan.RouteAround {
+				if np := st.routeAround(aj.state.Path(u)); np != nil {
+					aj.state.Reroute(u, np)
+					ct.faultStats.Reroutes++
+					if aj.tr != nil {
+						aj.tr.Fault(t, "reroute")
+					}
+					continue
+				}
+			}
+			ct.faultStats.Retries++
+			f.retries[aj.job.ID]++
+		}
+		if f.retries[aj.job.ID] >= budget {
+			ct.faultStats.RetryExhausted++
+			delete(f.retries, aj.job.ID)
+			aj.placement.Release(ct.cfg.Cloud)
+			st.failVictim(aj, t, "retry_exhausted")
+			exhausted = true
+		}
+	}
+	if exhausted {
+		st.compactActive()
+		st.capacityChanged = true
+		st.requestTick(t)
+	}
+}
+
+// routeAround finds a shortest alternative path between the endpoints
+// of a dead entanglement path, avoiding every dead edge. The BFS
+// expands neighbors in ascending order, so the choice is deterministic
+// (the same tie-breaks as the cloud's precomputed trees). Returns nil
+// when the dead edges disconnect the endpoints.
+func (st *runState) routeAround(path []int) []int {
+	f := st.faults
+	topo := st.ct.cfg.Cloud.Topology()
+	src, dst := path[0], path[len(path)-1]
+	prev := make([]int, topo.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	frontier := []int{src}
+	for len(frontier) > 0 && prev[dst] == -1 {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range topo.Neighbors(u) {
+				if prev[v] != -1 {
+					continue
+				}
+				if p, ok := f.scale[edgeKey(u, v)]; ok && p == 0 {
+					continue
+				}
+				prev[v] = u
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	if prev[dst] == -1 {
+		return nil
+	}
+	var out []int
+	for x := dst; x != src; x = prev[x] {
+		out = append(out, x)
+	}
+	out = append(out, src)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// FaultStats reports the injector's counters for the current run
+// (reset by each Run call; monotone over a LiveController's life). The
+// zero Stats without a plan.
+func (ct *Controller) FaultStats() fault.Stats { return ct.faultStats }

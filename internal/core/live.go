@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"cloudqc/internal/des"
+	"cloudqc/internal/fault"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/plan"
 	"cloudqc/internal/trace"
@@ -130,6 +132,7 @@ func NewLiveController(cfg Config) (*LiveController, error) {
 		st.resume = make(map[int]*resumeState)
 		st.rescued = make(map[int]bool)
 	}
+	st.faultInit()
 	return &LiveController{ct: ct, st: st}, nil
 }
 
@@ -299,12 +302,16 @@ func (lc *LiveController) Drain() ([]*JobResult, error) {
 			r.placement.Release(cl)
 		}
 		lc.st.active, lc.st.releases = nil, nil
+		lc.st.releaseFaultHolds()
 		return nil, lc.st.err
 	}
 	for _, r := range lc.st.releases {
 		r.placement.Release(cl)
 	}
 	lc.st.releases = nil
+	// Outage holds were returned by their qpuUp events (the engine
+	// drained every scheduled fault); sweep any injected leftovers.
+	lc.st.releaseFaultHolds()
 	if lc.ct.cfg.Recorder != nil && len(lc.jobs) > 0 {
 		end := lc.st.eng.Now()
 		if lc.st.maxFinished > end {
@@ -453,6 +460,136 @@ func (lc *LiveController) EPRAttempt() float64 { return lc.ct.cfg.Model.EPRAttem
 // the ceiling a federation router checks before offering a shard a
 // circuit it could never fit.
 func (lc *LiveController) TotalComputing() int { return lc.st.totalComputing }
+
+// FaultStats reports the controller's cumulative fault-injection and
+// recovery counters (the zero Stats without a plan or injections).
+func (lc *LiveController) FaultStats() fault.Stats { return lc.ct.faultStats }
+
+// InjectFault schedules one fault event live, at max(e.From, Now()) —
+// the admin POST /v1/faults path. Interval faults already over after
+// the clamp are rejected, as are shard drains (fed.Inject handles
+// those) and events out of the cloud's range.
+func (lc *LiveController) InjectFault(e fault.Event) error {
+	if lc.drained {
+		return ErrDrained
+	}
+	if lc.st.err != nil {
+		return lc.st.err
+	}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	cl := lc.ct.cfg.Cloud
+	switch e.Kind {
+	case fault.KindShardDrain:
+		return errors.New("core: shard_drain is a federation-tier fault (fed.Federation.Inject)")
+	case fault.KindQPUOutage:
+		if e.QPU >= cl.NumQPUs() {
+			return fmt.Errorf("core: fault downs QPU %d, cloud has %d", e.QPU, cl.NumQPUs())
+		}
+	case fault.KindLinkDegrade:
+		topo := cl.Topology()
+		if e.U >= topo.N() || e.V >= topo.N() || !topo.HasEdge(e.U, e.V) {
+			return fmt.Errorf("core: fault degrades nonexistent link (%d, %d)", e.U, e.V)
+		}
+		if _, err := lc.ct.cfg.Model.DegradedProb(e.Scale); err != nil {
+			return err
+		}
+	}
+	if now := lc.st.eng.Now(); e.From < now {
+		e.From = now
+		if e.To <= e.From {
+			return fmt.Errorf("core: fault interval ends at %g, already past virtual time %g", e.To, now)
+		}
+	}
+	lc.st.faultEnsure(&fault.Plan{})
+	lc.st.scheduleFault(e)
+	return nil
+}
+
+// Evacuate checkpoints every unsettled job off the controller and
+// halts it — the core half of a federation shard drain. Active jobs
+// checkpoint like an eviction; queued and pending jobs move as-is
+// (preempted ones carry their existing checkpoints); already-exported
+// preemptions ride along. Settled results stay readable. The cloud's
+// reservations, trailing releases, and outage holds are all returned,
+// so the drained shard ends with zero resident jobs and a fully free
+// cloud. After Evacuate the controller is drained: stale engine events
+// are inert and every mutating call fails with ErrDrained.
+func (lc *LiveController) Evacuate() (resumes []PreemptedJob, waiting []*Job) {
+	st := lc.st
+	ct := lc.ct
+	t := st.eng.Now()
+	tc := ct.cfg.Trace
+	for _, aj := range st.active {
+		aj.placement.Release(ct.cfg.Cloud)
+		cp := aj.state.Checkpoint()
+		ct.releaseJobState(aj.state)
+		aj.state = nil
+		if aj.tr != nil {
+			aj.tr.Fault(t, fault.KindShardDrain)
+			aj.tr.Preempt(t)
+		}
+		resumes = append(resumes, PreemptedJob{Job: aj.job, cp: cp, firstPlacedAt: aj.firstPlacedAt})
+	}
+	st.active = nil
+	collect := func(j *Job) {
+		if tc != nil {
+			if tr := tc.Get(j.ID); tr != nil {
+				tr.Fault(t, fault.KindShardDrain)
+			}
+		}
+		if rs := st.resume[j.ID]; rs != nil {
+			delete(st.resume, j.ID)
+			resumes = append(resumes, PreemptedJob{Job: j, cp: rs.cp, firstPlacedAt: rs.firstPlacedAt})
+		} else {
+			waiting = append(waiting, j)
+		}
+	}
+	for _, j := range st.queue {
+		collect(j)
+	}
+	st.queue = nil
+	for _, j := range lc.jobs {
+		if st.status[j.ID] == StatusPending {
+			st.pendingArrivals--
+			collect(j)
+		}
+	}
+	resumes = append(resumes, st.exported...)
+	st.exported = nil
+	for _, r := range st.releases {
+		r.placement.Release(ct.cfg.Cloud)
+	}
+	st.releases = nil
+	st.releaseFaultHolds()
+	// Forget the moved jobs entirely — result slots, status, and
+	// submission-order entries — so SubmitResume/Submit re-validate
+	// them wherever the router rehomes them.
+	gone := make(map[int]bool, len(resumes)+len(waiting))
+	for _, pj := range resumes {
+		gone[pj.Job.ID] = true
+	}
+	for _, j := range waiting {
+		gone[j.ID] = true
+	}
+	kept := lc.jobs[:0]
+	for _, j := range lc.jobs {
+		if gone[j.ID] {
+			delete(st.results, j.ID)
+			delete(st.status, j.ID)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(lc.jobs); i++ {
+		lc.jobs[i] = nil
+	}
+	lc.jobs = kept
+	st.halted = true
+	lc.drained = true
+	return resumes, waiting
+}
 
 // OnlineStatsOf aggregates a result set's completed-job JCTs and waits,
 // failed count, and last-completion makespan into OnlineStats — the

@@ -18,6 +18,11 @@ const (
 	// re-entering service: Pending on cross-shard SubmitResume, Running
 	// when its checkpoint replays onto a fresh placement.
 	ReasonResumed
+	// ReasonEvicted marks a Running→Queued transition caused by the
+	// fault layer checkpointing the job off a downed QPU or a draining
+	// shard. Resumes of evicted jobs report ReasonResumed like
+	// preemption resumes.
+	ReasonEvicted
 )
 
 // String names the reason as the service's SSE events spell it.
@@ -29,6 +34,8 @@ func (r TransitionReason) String() string {
 		return "preempted"
 	case ReasonResumed:
 		return "resumed"
+	case ReasonEvicted:
+		return "evicted"
 	default:
 		return fmt.Sprintf("TransitionReason(%d)", int(r))
 	}

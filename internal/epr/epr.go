@@ -74,6 +74,32 @@ func (m Model) Validate() error {
 	return nil
 }
 
+// DegradedProb validates and applies a fault-layer link degradation:
+// the effective per-attempt success probability of an edge whose base
+// probability is m.SuccessProb, scaled by scale. Validate is bypassed
+// for models mutated after construction, so this is the checkpoint the
+// fault layer goes through instead: the scaled probability may hit
+// exactly 0 (a dead link) but can never go negative or exceed 1.
+func (m Model) DegradedProb(scale float64) (float64, error) {
+	if scale < 0 || scale > 1 || math.IsNaN(scale) {
+		return 0, fmt.Errorf("epr: degradation scale %v outside [0, 1]", scale)
+	}
+	p := m.SuccessProb * scale
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("epr: degraded success probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// RoundSuccessProb is RoundSuccess for an explicit per-attempt success
+// probability — the fault layer's per-edge variant: 1−(1−p)^pairs.
+func RoundSuccessProb(p float64, pairs int) float64 {
+	if pairs <= 0 || p <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-p, float64(pairs))
+}
+
 // RoundSuccess returns the probability that at least one of `pairs`
 // parallel EPR attempts succeeds in one round: 1−(1−p)^pairs.
 func (m Model) RoundSuccess(pairs int) float64 {

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+
+	"cloudqc/internal/core"
+	"cloudqc/internal/fault"
+	"cloudqc/internal/metrics"
+	"cloudqc/internal/place"
+	"cloudqc/internal/stats"
+	"cloudqc/internal/workload"
+)
+
+// faultArm is one line of the faults figure: a recovery configuration
+// run against an identical fault schedule. The schedule — QPU outages
+// plus two dead-link windows — is held fixed across arms, so a cell
+// difference isolates the recovery policy, never the faults themselves.
+type faultArm struct {
+	name     string
+	recovery string
+	reroute  bool
+}
+
+// faultArms are the figure's three arms: fail evicted jobs outright
+// (the no-recovery baseline), checkpoint-rescue, and rescue plus
+// dead-edge route-around.
+func faultArms() []faultArm {
+	return []faultArm{
+		{"None", fault.RecoveryNone, false},
+		{"Rescue", fault.RecoveryRescue, false},
+		{"Rescue+Reroute", fault.RecoveryRescue, true},
+	}
+}
+
+// FaultRow is one (workload × outage rate × recovery arm) cell: SLO
+// attainment and fairness, stream statistics (the p99 JCT axis), and
+// the injector counters that explain them.
+type FaultRow struct {
+	Workload string
+	// Outages is the failure-rate axis: QPU outages injected over the
+	// stream's arrival horizon.
+	Outages int
+	Policy  string
+	SLO     metrics.SLOStats
+	Stream  metrics.OnlineStats
+	Faults  fault.Stats
+}
+
+// faultRep is one (cell × rep) task's raw outcome.
+type faultRep struct {
+	outcomes    []metrics.JobOutcome
+	jcts, waits []float64
+	failed      int
+	makespan    float64
+	faults      fault.Stats
+}
+
+// faultOutageDuration is each injected outage's length in CX units —
+// long enough that jobs resident on the downed QPU are genuinely
+// interrupted, short enough that capacity recovers between outages.
+const faultOutageDuration = 4000
+
+// Faults traces SLO attainment and p99 JCT against the QPU-failure
+// rate for no-recovery vs checkpoint-rescue vs rescue+route-around:
+// each cell runs the three-tenant deadline mix under EDF admission
+// against a deterministic fault schedule of n QPU outages (spread over
+// the arrival horizon by fault.OutageSchedule) plus two dead-link
+// windows, varying only the recovery knobs. Under no-recovery every
+// eviction is a failed job; checkpoint-rescue re-enqueues them — the
+// strict attainment win TestRescueImprovesFaultAttainment pins — and
+// route-around additionally saves jobs whose entanglement paths cross
+// the dead links from burning their retry budgets.
+//
+// Seeding follows the package convention: the per-task seed depends on
+// (workload, rep) only, so every rate and every arm replays identical
+// tenant mixes against identical fault schedules.
+func Faults(o Options, process string, perTenant int, rates []int) ([]FaultRow, error) {
+	o = o.withDefaults()
+	if perTenant == 0 {
+		perTenant = 4
+	}
+	if perTenant < 0 {
+		return nil, fmt.Errorf("exp: negative per-tenant stream size %d", perTenant)
+	}
+	if len(rates) == 0 {
+		rates = []int{2, 6, 12}
+	}
+	const interarrival = 1000.0
+	// The outage window covers the arrival span plus an execution tail.
+	horizon := float64(perTenant) * interarrival * 2
+	workloads := workload.All()
+	arms := faultArms()
+	points := len(workloads) * len(rates) * len(arms)
+	reps, err := runIndexed(o.workers(), points*o.Reps, func(i int) (faultRep, error) {
+		pt, rep := i/o.Reps, i%o.Reps
+		wi := pt / (len(rates) * len(arms))
+		ri := pt / len(arms) % len(rates)
+		ai := pt % len(arms)
+		seed := taskSeed(o.Seed, wi, rep)
+		mix := workload.DefaultTenantMix(workloads[wi], perTenant, process, interarrival)
+		jobs, err := workload.MultiTenant(mix, seed)
+		if err != nil {
+			return faultRep{}, err
+		}
+		cl := o.cloudFor()
+		plan := fault.OutageSchedule(o.QPUs, rates[ri], 0, horizon, faultOutageDuration, seed)
+		if plan == nil {
+			plan = &fault.Plan{}
+		}
+		// Two dead-link windows on real topology edges, identical across
+		// arms: only the route-around arm can path around them.
+		if edges := cl.Topology().Edges(); len(edges) > 0 {
+			for li, at := range []float64{horizon * 0.25, horizon * 0.55} {
+				e := edges[li*(len(edges)/2)%len(edges)]
+				plan.Events = append(plan.Events, fault.Event{
+					Kind: fault.KindLinkDegrade, U: e.U, V: e.V,
+					Scale: 0, From: at, To: at + horizon*0.15,
+				})
+			}
+		}
+		plan.Recovery = arms[ai].recovery
+		plan.RouteAround = arms[ai].reroute
+		pCfg := place.DefaultConfig()
+		pCfg.Seed = seed
+		ct, err := core.NewController(core.Config{
+			Cloud:  cl,
+			Placer: place.NewCloudQC(pCfg),
+			Model:  o.model(),
+			Mode:   core.EDFMode,
+			Seed:   seed,
+			Faults: plan,
+		})
+		if err != nil {
+			return faultRep{}, err
+		}
+		results, err := ct.Run(jobs)
+		if err != nil {
+			return faultRep{}, fmt.Errorf("faults %s %s n=%d rep %d: %w",
+				workloads[wi].Name, arms[ai].name, rates[ri], rep, err)
+		}
+		r := faultRep{outcomes: core.Outcomes(results), faults: ct.FaultStats()}
+		for _, res := range results {
+			if res.Failed {
+				r.failed++
+				continue
+			}
+			r.jcts = append(r.jcts, res.JCT)
+			r.waits = append(r.waits, res.WaitTime)
+			if res.Finished > r.makespan {
+				r.makespan = res.Finished
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FaultRow, 0, points)
+	for pt := 0; pt < points; pt++ {
+		wi := pt / (len(rates) * len(arms))
+		ri := pt / len(arms) % len(rates)
+		ai := pt % len(arms)
+		var outcomes []metrics.JobOutcome
+		var jcts, waits []float64
+		failed := 0
+		var makespan float64
+		var fs fault.Stats
+		for rep := 0; rep < o.Reps; rep++ {
+			r := reps[pt*o.Reps+rep]
+			outcomes = append(outcomes, r.outcomes...)
+			jcts = append(jcts, r.jcts...)
+			waits = append(waits, r.waits...)
+			failed += r.failed
+			makespan += r.makespan
+			fs.Add(r.faults)
+		}
+		rows = append(rows, FaultRow{
+			Workload: workloads[wi].Name,
+			Outages:  rates[ri],
+			Policy:   arms[ai].name,
+			SLO:      metrics.AggregateSLO(outcomes),
+			Stream:   metrics.AggregateOnline(jcts, waits, failed, makespan),
+			Faults:   fs,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFaults renders fault rows grouped by workload and outage rate:
+// attainment and p99 JCT are the figure's two y-axes, the injector
+// counters its annotations.
+func RenderFaults(rows []FaultRow) string {
+	headers := []string{"Workload", "Outages", "Recovery", "Done", "Fail",
+		"Attain", "Jain", "MeanJCT", "P99JCT", "Rescued", "FailedOut", "Retries", "Reroutes", "Exhausted"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.Outages),
+			r.Policy,
+			fmt.Sprintf("%d", r.Stream.Completed),
+			fmt.Sprintf("%d", r.Stream.Failed),
+			fmtFrac(r.SLO.Attainment),
+			fmtFrac(r.SLO.Fairness),
+			stats.F(r.Stream.MeanJCT),
+			stats.F(r.Stream.P99JCT),
+			fmt.Sprintf("%d", r.Faults.RescuedOutage),
+			fmt.Sprintf("%d", r.Faults.FailedOutage),
+			fmt.Sprintf("%d", r.Faults.Retries),
+			fmt.Sprintf("%d", r.Faults.Reroutes),
+			fmt.Sprintf("%d", r.Faults.RetryExhausted),
+		})
+	}
+	return stats.Table(headers, out)
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRescueImprovesFaultAttainment is the fault figure's acceptance
+// criterion: under injected QPU outages, checkpoint-rescue strictly
+// improves SLO attainment over no-recovery for at least one workload,
+// the improvement is accounted for by rescued evictions, and the
+// no-recovery arm's losses are accounted for by outage failures. The
+// grid is the smallest one that exhibits the effect (2 jobs/tenant, one
+// outage rate), deterministic by seeding.
+func TestRescueImprovesFaultAttainment(t *testing.T) {
+	o := Defaults()
+	o.Reps = 1
+	rows, err := Faults(o, "poisson", 2, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads × 1 rate × 3 arms.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	byArm := map[string]map[string]FaultRow{}
+	for _, r := range rows {
+		if byArm[r.Workload] == nil {
+			byArm[r.Workload] = map[string]FaultRow{}
+		}
+		byArm[r.Workload][r.Policy] = r
+		if r.Stream.Completed+r.Stream.Failed != 6 {
+			t.Fatalf("row %s/%s accounts for %d jobs, want 6",
+				r.Workload, r.Policy, r.Stream.Completed+r.Stream.Failed)
+		}
+		if r.Faults.QPUOutages != int64(r.Outages) {
+			t.Fatalf("row %s/%s fired %d outages, want %d",
+				r.Workload, r.Policy, r.Faults.QPUOutages, r.Outages)
+		}
+		switch r.Policy {
+		case "None":
+			// No-recovery loses exactly the jobs the outages killed.
+			if int64(r.Stream.Failed) != r.Faults.FailedOutage+r.Faults.RetryExhausted {
+				t.Fatalf("row %s/None: %d failures vs injector %+v",
+					r.Workload, r.Stream.Failed, r.Faults)
+			}
+			if r.Faults.RescuedOutage != 0 {
+				t.Fatalf("row %s/None rescued a job: %+v", r.Workload, r.Faults)
+			}
+		case "Rescue", "Rescue+Reroute":
+			if r.Faults.FailedOutage != 0 {
+				t.Fatalf("row %s/%s failed a job to an outage under rescue: %+v",
+					r.Workload, r.Policy, r.Faults)
+			}
+		}
+	}
+	improved := false
+	for wl, arms := range byArm {
+		none, rescue := arms["None"], arms["Rescue"]
+		if rescue.SLO.Attainment > none.SLO.Attainment {
+			improved = true
+			if rescue.Faults.RescuedOutage == 0 {
+				t.Fatalf("%s: attainment improved (%.2f > %.2f) without a rescued eviction: %+v",
+					wl, rescue.SLO.Attainment, none.SLO.Attainment, rescue.Faults)
+			}
+		}
+	}
+	if !improved {
+		t.Fatalf("rescue never strictly improved attainment over no-recovery:\n%s", RenderFaults(rows))
+	}
+	text := RenderFaults(rows)
+	for _, col := range []string{"Outages", "Recovery", "Attain", "Rescued", "FailedOut", "Reroutes"} {
+		if !strings.Contains(text, col) {
+			t.Fatalf("rendered table missing %q:\n%s", col, text)
+		}
+	}
+}

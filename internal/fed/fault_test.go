@@ -1,0 +1,273 @@
+package fed
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cloudqc/internal/cloud"
+	"cloudqc/internal/core"
+	"cloudqc/internal/fault"
+	"cloudqc/internal/qlib"
+)
+
+// faultFedPlan schedules all three fault classes across a 4-shard
+// federation: an outage on shard 0, another on shard 1, a dead-link
+// window on shard 2 (on a real edge of its topology), and a drain of
+// shard 3.
+func faultFedPlan(clouds []*cloud.Cloud) *fault.Plan {
+	e := clouds[2].Topology().Edges()[0]
+	return &fault.Plan{
+		Recovery:    fault.RecoveryRescue,
+		RouteAround: true,
+		Events: []fault.Event{
+			{Kind: fault.KindQPUOutage, Shard: 0, QPU: 0, From: 100, To: 700},
+			{Kind: fault.KindQPUOutage, Shard: 1, QPU: 2, From: 150, To: 750},
+			{Kind: fault.KindLinkDegrade, Shard: 2, U: e.U, V: e.V, Scale: 0, From: 50, To: 900},
+			{Kind: fault.KindShardDrain, Shard: 3, From: 300},
+		},
+	}
+}
+
+// faultFedRun drives a 16-job 8-tenant stream through a 4-shard
+// federation under the plan and returns everything observable.
+func faultFedRun(t *testing.T) ([]*core.JobResult, fault.Stats, core.RunStats, RouterStats) {
+	t.Helper()
+	clouds := uniformClouds(4, 8)
+	f, err := New(Config{
+		Shard:  shardTemplate(5, core.WFQMode),
+		Clouds: clouds,
+		Faults: faultFedPlan(clouds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 tenants x 2 jobs, all at t=0: distinct tenants cold-route across
+	// all four shards and a GHZ-100 (~220 CX units, one at a time per
+	// shard cloud) backlog keeps every shard resident when its fault
+	// lands.
+	for i := 0; i < 16; i++ {
+		j := &core.Job{ID: i, Circuit: qlib.GHZ(100), Tenant: i % 8, Priority: 1 + i%3}
+		if err := f.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := f.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, f.FaultStats(), f.RunStats(), f.RouterStats()
+}
+
+// TestFederationFaultDeterminism is the faults-on acceptance run: a
+// 4-shard federation absorbing a QPU outage, a dead-link window, and a
+// shard drain in one stream replays bit-identically, and every fault
+// class verifiably fired.
+func TestFederationFaultDeterminism(t *testing.T) {
+	res1, fs1, rs1, rt1 := faultFedRun(t)
+	res2, fs2, rs2, rt2 := faultFedRun(t)
+
+	if fs1.QPUOutages != 2 || fs1.LinkDegrades != 1 || fs1.ShardDrains != 1 {
+		t.Fatalf("faults did not all fire: %+v", fs1)
+	}
+	if fs1.RescuedDrain == 0 {
+		t.Fatalf("drained shard held no work at t=2000: %+v", fs1)
+	}
+	if fs1 != fs2 {
+		t.Fatalf("fault stats diverged:\nrun1 %+v\nrun2 %+v", fs1, fs2)
+	}
+	if rs1 != rs2 || rt1 != rt2 {
+		t.Fatalf("run/router stats diverged: %+v/%+v vs %+v/%+v", rs1, rt1, rs2, rt2)
+	}
+	if len(res1) != 16 || len(res2) != 16 {
+		t.Fatalf("result counts %d / %d, want 16", len(res1), len(res2))
+	}
+	for i := range res1 {
+		a, b := res1[i], res2[i]
+		if a.Job.ID != b.Job.ID || a.Failed != b.Failed || a.PlacedAt != b.PlacedAt ||
+			a.Finished != b.Finished || a.JCT != b.JCT || a.WaitTime != b.WaitTime ||
+			a.RemoteGates != b.RemoteGates {
+			t.Fatalf("job %d diverged:\nrun1 %+v\nrun2 %+v", a.Job.ID, *a, *b)
+		}
+		// Compare the assignment, not the whole Placement: the Circuit
+		// pointer inside carries lazily-memoized caches whose population
+		// timing is not an observable.
+		var qa, qb []int
+		if a.Placement != nil {
+			qa = a.Placement.QubitToQPU
+		}
+		if b.Placement != nil {
+			qb = b.Placement.QubitToQPU
+		}
+		if !reflect.DeepEqual(qa, qb) {
+			t.Fatalf("job %d placement diverged:\nrun1 %v\nrun2 %v", a.Job.ID, qa, qb)
+		}
+	}
+	// Rescue recovery: faults never lose a job — every one of the 16
+	// settles, and nothing failed except by retry exhaustion (counted).
+	failed := int64(0)
+	for _, r := range res1 {
+		if r.Failed {
+			failed++
+		}
+	}
+	if failed != fs1.RetryExhausted+fs1.FailedOutage {
+		t.Fatalf("%d failures vs stats %+v: a rescue leaked a job", failed, fs1)
+	}
+}
+
+// TestFederationShardDrainRehome pins the drain contract: at the drain
+// instant the doomed shard's residents all checkpoint and rehome under
+// their original ids, the shard ends empty and leaves the routing set,
+// and every job still settles.
+func TestFederationShardDrainRehome(t *testing.T) {
+	f, err := New(Config{
+		Shard:  shardTemplate(9, core.FIFOMode),
+		Clouds: uniformClouds(2, 8),
+		Faults: &fault.Plan{Events: []fault.Event{{Kind: fault.KindShardDrain, Shard: 1, From: 100}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six single-tenant GHZ-100 jobs (~220 CX units each, one at a time
+	// per shard), so shard 1 holds one running and two queued jobs when
+	// the drain lands at t=100.
+	for i := 0; i < 6; i++ {
+		if err := f.Submit(&core.Job{ID: i, Circuit: qlib.GHZ(100), Tenant: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	onShard1 := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		if s, ok := f.ShardOf(i); ok && s == 1 {
+			onShard1[i] = true
+		}
+	}
+	if len(onShard1) == 0 {
+		t.Fatal("setup: no job routed to shard 1")
+	}
+
+	if err := f.StepUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	fs := f.FaultStats()
+	if fs.ShardDrains != 1 {
+		t.Fatalf("drain never fired: %+v", fs)
+	}
+	if fs.RescuedDrain != int64(len(onShard1)) {
+		t.Fatalf("rescued %d jobs off shard 1, want %d", fs.RescuedDrain, len(onShard1))
+	}
+	// The drained shard ends with zero resident jobs and a halted clock.
+	snap := f.ShardSnapshots()[1]
+	if snap.Pending+snap.Queued+snap.Active != 0 {
+		t.Fatalf("drained shard still resident: %+v", snap)
+	}
+	// Every evacuated job rehomed to shard 0 under its original id.
+	for id := range onShard1 {
+		s, ok := f.ShardOf(id)
+		if !ok || s != 0 {
+			t.Fatalf("job %d on shard %d (ok=%v) after drain, want 0", id, s, ok)
+		}
+	}
+	// The drained shard is out of the routing set: new submissions and
+	// new faults both land elsewhere or are refused.
+	late := &core.Job{ID: 100, Circuit: qlib.GHZ(20), Tenant: 9, Arrival: 1000}
+	if err := f.Submit(late); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := f.ShardOf(100); s != 0 {
+		t.Fatalf("post-drain submission routed to drained shard %d", s)
+	}
+	if err := f.Inject(fault.Event{Kind: fault.KindQPUOutage, Shard: 1, QPU: 0, From: 1100, To: 1200}); err == nil {
+		t.Fatal("fault injection into a drained shard accepted")
+	}
+
+	res, err := f.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 7 {
+		t.Fatalf("got %d results, want 7", len(res))
+	}
+	for _, r := range res {
+		if r.Failed {
+			t.Fatalf("job %d failed across the drain: %+v", r.Job.ID, *r)
+		}
+	}
+}
+
+// TestFederationDrainLastShardRefused: the drain that would take down
+// the final enabled shard fails loudly instead of stranding the jobs.
+func TestFederationDrainLastShardRefused(t *testing.T) {
+	f, err := New(Config{
+		Shard:  shardTemplate(1, core.FIFOMode),
+		Clouds: uniformClouds(2, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Inject(fault.Event{Kind: fault.KindShardDrain, Shard: 0, From: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Inject(fault.Event{Kind: fault.KindShardDrain, Shard: 1, From: 20}); err != nil {
+		t.Fatal(err)
+	}
+	err = f.StepUntil(100)
+	if err == nil || !strings.Contains(err.Error(), "last enabled shard") {
+		t.Fatalf("second drain err = %v, want last-enabled-shard refusal", err)
+	}
+}
+
+// TestFederationInjectValidation: live injection rejects malformed
+// events, out-of-range shards, and drained federations; in-range QPU
+// faults forward to the target shard.
+func TestFederationInjectValidation(t *testing.T) {
+	f, err := New(Config{
+		Shard:  shardTemplate(1, core.FIFOMode),
+		Clouds: uniformClouds(2, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []fault.Event{
+		{Kind: "bogus", From: 0},
+		{Kind: fault.KindQPUOutage, Shard: 5, QPU: 0, From: 0, To: 10},
+		{Kind: fault.KindQPUOutage, Shard: 0, QPU: 99, From: 0, To: 10},
+	} {
+		if err := f.Inject(e); err == nil {
+			t.Fatalf("bad injection accepted: %+v", e)
+		}
+	}
+	if err := f.Inject(fault.Event{Kind: fault.KindQPUOutage, Shard: 1, QPU: 0, From: 10, To: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StepUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if fs := f.FaultStats(); fs.QPUOutages != 1 {
+		t.Fatalf("forwarded outage never fired: %+v", fs)
+	}
+	if _, err := f.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Inject(fault.Event{Kind: fault.KindShardDrain, Shard: 0, From: 0}); err == nil {
+		t.Fatal("injection after federation drain accepted")
+	}
+}
+
+// TestFederationFaultConfigValidation: fed.New rejects per-shard plans
+// on the template and events addressing shards beyond the fleet.
+func TestFederationFaultConfigValidation(t *testing.T) {
+	tpl := shardTemplate(1, core.FIFOMode)
+	tpl.Faults = &fault.Plan{}
+	if _, err := New(Config{Shard: tpl, Clouds: uniformClouds(2, 8)}); err == nil {
+		t.Fatal("Shard.Faults accepted")
+	}
+	if _, err := New(Config{
+		Shard:  shardTemplate(1, core.FIFOMode),
+		Clouds: uniformClouds(2, 8),
+		Faults: &fault.Plan{Events: []fault.Event{{Kind: fault.KindShardDrain, Shard: 7, From: 0}}},
+	}); err == nil {
+		t.Fatal("out-of-fleet fault event accepted")
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"cloudqc/internal/cloud"
 	"cloudqc/internal/core"
+	"cloudqc/internal/fault"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/place"
 	"cloudqc/internal/plan"
@@ -70,6 +71,12 @@ type Config struct {
 	// onto the trace. Shard.Trace must be nil (the federation installs
 	// this recorder on every shard).
 	Trace *trace.Recorder
+	// Faults, when non-nil, is the federation-wide fault plan: each
+	// shard's QPU and link events are split off with ForShard (nil
+	// slices keep that shard on the fault-free path), and shard_drain
+	// events are intercepted here — the shard is evacuated and removed
+	// from routing at the drain instant. Shard.Faults must be nil.
+	Faults *fault.Plan
 }
 
 // DefaultSpillDepth is the affinity router's backlog-slack default: an
@@ -99,6 +106,15 @@ type Federation struct {
 	// trace is the shared span recorder every shard writes into (nil
 	// when tracing is off).
 	trace *trace.Recorder
+	// drains is the pending shard_drain schedule, ordered by (From,
+	// Shard); StepUntil intercepts each before stepping past its
+	// instant. disabled marks drained shards: never stepped, never
+	// routed to, results still readable. fstats counts federation-tier
+	// fault activity (drains and drain rescues; shard counters live on
+	// the shards).
+	drains   []fault.Event
+	disabled []bool
+	fstats   fault.Stats
 }
 
 // New validates the configuration and builds the federation: shard i
@@ -126,11 +142,26 @@ func New(cfg Config) (*Federation, error) {
 	if cfg.Recorders != nil && len(cfg.Recorders) != n {
 		return nil, fmt.Errorf("fed: %d recorders for %d shards", len(cfg.Recorders), n)
 	}
+	if cfg.Shard.Faults != nil {
+		return nil, errors.New("fed: Config.Shard.Faults must be nil (use Config.Faults; the federation splits plans per shard)")
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		for i, e := range cfg.Faults.Events {
+			if e.Shard >= n {
+				return nil, fmt.Errorf("fed: fault event %d targets shard %d, federation has %d", i, e.Shard, n)
+			}
+		}
+	}
 	f := &Federation{
-		wfq:     core.NewWFQClock(),
-		shardOf: make(map[int]int),
-		seq:     make([]int, n),
-		trace:   cfg.Trace,
+		wfq:      core.NewWFQClock(),
+		shardOf:  make(map[int]int),
+		seq:      make([]int, n),
+		trace:    cfg.Trace,
+		drains:   cfg.Faults.Drains(),
+		disabled: make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		if cfg.Clouds[i] == nil {
@@ -152,6 +183,7 @@ func New(cfg Config) (*Federation, error) {
 		if cfg.NewPlacer != nil {
 			scfg.Placer = cfg.NewPlacer(i)
 		}
+		scfg.Faults = cfg.Faults.ForShard(i)
 		sh, err := core.NewShard(i, scfg)
 		if err != nil {
 			return nil, err
@@ -175,12 +207,13 @@ func Wrap(lc *core.LiveController) *Federation {
 	shards := []*core.Shard{core.WrapShard(0, lc)}
 	r, _ := newRouter(shards, RouteAffinity, 0, 0)
 	return &Federation{
-		shards:  shards,
-		router:  r,
-		shardOf: make(map[int]int),
-		seq:     make([]int, 1),
-		epr:     lc.EPRAttempt(),
-		trace:   lc.Trace(),
+		shards:   shards,
+		router:   r,
+		shardOf:  make(map[int]int),
+		seq:      make([]int, 1),
+		epr:      lc.EPRAttempt(),
+		trace:    lc.Trace(),
+		disabled: make([]bool, 1),
 	}
 }
 
@@ -266,18 +299,142 @@ func (f *Federation) nextID(shard int) int {
 
 // StepUntil advances every shard's virtual clock to t, in shard order
 // (deterministic: shard i's events at a given instant always run
-// before shard i+1's). Returns the first shard error, which is sticky
-// on that shard.
+// before shard i+1's). Pending shard drains whose instant the step
+// would pass are intercepted in schedule order: the shards step to the
+// drain instant, the doomed shard is evacuated and rehomed, and the
+// step continues — so a drain lands at the same virtual time however
+// the caller slices its steps. Returns the first shard error, which is
+// sticky on that shard.
 func (f *Federation) StepUntil(t float64) error {
 	if f.drained {
 		return fmt.Errorf("fed: %w", core.ErrDrained)
 	}
+	for len(f.drains) > 0 && f.drains[0].From < t {
+		d := f.drains[0]
+		if err := f.stepShards(d.From); err != nil {
+			return err
+		}
+		f.drains = f.drains[1:]
+		if err := f.drainShard(d.Shard, d.From); err != nil {
+			return err
+		}
+	}
+	return f.stepShards(t)
+}
+
+// stepShards advances every enabled shard to t and rehomes the step's
+// preemption exports.
+func (f *Federation) stepShards(t float64) error {
 	for i, s := range f.shards {
+		if f.disabled[i] {
+			continue
+		}
 		if err := s.Controller().StepUntil(t); err != nil {
 			return fmt.Errorf("fed: shard %d: %w", i, err)
 		}
 	}
 	return f.rehome()
+}
+
+// drainShard is the shard_drain fault: the shard is evacuated — every
+// unsettled job checkpoints off it — and removed from routing, then
+// each evacuated job rehomes through the admission router under its
+// original ID (resumes carry their checkpoints; queued and pending
+// jobs re-enter admission as they were). Settled results stay readable
+// on the drained shard. The last enabled shard refuses to drain.
+func (f *Federation) drainShard(shard int, at float64) error {
+	if f.disabled[shard] {
+		return fmt.Errorf("fed: shard %d is already drained", shard)
+	}
+	enabled := 0
+	for i := range f.shards {
+		if !f.disabled[i] {
+			enabled++
+		}
+	}
+	if enabled <= 1 {
+		return fmt.Errorf("fed: refusing to drain shard %d: it is the last enabled shard", shard)
+	}
+	f.fstats.ShardDrains++
+	resumes, waiting := f.shards[shard].Controller().Evacuate()
+	f.disabled[shard] = true
+	f.router.disable(shard)
+	submit := func(j *core.Job, run func(tgt int) error) error {
+		before := f.router.stats
+		tgt := f.router.route(j)
+		if f.trace != nil {
+			if tr := f.trace.Get(j.ID); tr != nil {
+				tr.Rehome(at, shard, tgt, rehomeKind(before, f.router.stats))
+			}
+		}
+		if err := run(tgt); err != nil {
+			return fmt.Errorf("fed: rehoming job %d off drained shard %d: %w", j.ID, shard, err)
+		}
+		f.shardOf[j.ID] = tgt
+		f.fstats.RescuedDrain++
+		return nil
+	}
+	for _, pj := range resumes {
+		pj := pj
+		if err := submit(pj.Job, func(tgt int) error { return f.shards[tgt].Controller().SubmitResume(pj) }); err != nil {
+			return err
+		}
+	}
+	for _, j := range waiting {
+		j := j
+		if err := submit(j, func(tgt int) error { return f.shards[tgt].Controller().Submit(j) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inject schedules one fault event live — the admin POST /v1/faults
+// path. Shard drains queue on the federation's own schedule (clamped
+// to now); QPU and link faults forward to the target shard's
+// controller. Replay determinism is the caller's concern: the service
+// layer logs the injection in the WAL before calling.
+func (f *Federation) Inject(e fault.Event) error {
+	if f.drained {
+		return fmt.Errorf("fed: %w", core.ErrDrained)
+	}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if e.Shard >= len(f.shards) {
+		return fmt.Errorf("fed: fault targets shard %d, federation has %d", e.Shard, len(f.shards))
+	}
+	if f.disabled[e.Shard] {
+		return fmt.Errorf("fed: shard %d is drained", e.Shard)
+	}
+	if e.Kind == fault.KindShardDrain {
+		if now := f.Now(); e.From < now {
+			e.From = now
+		}
+		i := len(f.drains)
+		for i > 0 && (f.drains[i-1].From > e.From ||
+			(f.drains[i-1].From == e.From && f.drains[i-1].Shard > e.Shard)) {
+			i--
+		}
+		f.drains = append(f.drains, fault.Event{})
+		copy(f.drains[i+1:], f.drains[i:])
+		f.drains[i] = e
+		return nil
+	}
+	if err := f.shards[e.Shard].Controller().InjectFault(e); err != nil {
+		return fmt.Errorf("fed: shard %d: %w", e.Shard, err)
+	}
+	return nil
+}
+
+// FaultStats merges the federation's own fault counters (shard drains,
+// drain rescues) with every shard's injector counters.
+func (f *Federation) FaultStats() fault.Stats {
+	s := f.fstats
+	for _, sh := range f.shards {
+		s.Add(sh.Controller().FaultStats())
+	}
+	return s
 }
 
 // rehome re-routes jobs the shards preempted and exported during the
@@ -339,16 +496,36 @@ func (f *Federation) Drain() ([]*core.JobResult, error) {
 	if f.drained {
 		return nil, fmt.Errorf("fed: %w", core.ErrDrained)
 	}
-	f.drained = true
 	var firstErr error
+	// Scheduled shard drains not yet reached still fire: step to each
+	// drain instant and evacuate, so a plan's final drain lands even if
+	// the caller never stepped past it.
+	for len(f.drains) > 0 {
+		d := f.drains[0]
+		if err := f.stepShards(d.From); err != nil {
+			firstErr = err
+			break
+		}
+		f.drains = f.drains[1:]
+		if err := f.drainShard(d.Shard, d.From); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	f.drained = true
 	// Jobs preempted on the final step are still awaiting re-routing;
 	// hand them to their shards before the backlog runs dry. (During the
 	// drain itself shards requeue preemptions locally rather than
 	// exporting, so nothing new accumulates below.)
-	if err := f.rehome(); err != nil {
+	if err := f.rehome(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	for i, s := range f.shards {
+		if f.disabled[i] {
+			// Already evacuated by a shard_drain fault; its controller is
+			// halted and holds only settled results.
+			continue
+		}
 		if _, err := s.Controller().Drain(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("fed: shard %d: %w", i, err)
 		}

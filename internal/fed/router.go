@@ -89,6 +89,11 @@ type router struct {
 	// a 4-QPU shard with 3 queued jobs is busier than a 6-QPU shard
 	// with 4.
 	caps []float64
+	// disabled marks shards removed from routing by a shard_drain
+	// fault; numDisabled caches the count so the fault-free random arm
+	// keeps its exact Intn(n) draw (bit-identical off-path).
+	disabled    []bool
+	numDisabled int
 }
 
 func newRouter(shards []*core.Shard, routing Routing, spillDepth int, seed int64) (*router, error) {
@@ -116,7 +121,16 @@ func newRouter(shards []*core.Shard, routing Routing, spillDepth int, seed int64
 		affinity: make(map[affinityKey]int),
 		depths:   make([]int, len(shards)),
 		caps:     caps,
+		disabled: make([]bool, len(shards)),
 	}, nil
+}
+
+// disable removes a drained shard from every future routing decision.
+func (r *router) disable(shard int) {
+	if !r.disabled[shard] {
+		r.disabled[shard] = true
+		r.numDisabled++
+	}
 }
 
 // route picks the shard for one job. Deterministic given the
@@ -130,16 +144,36 @@ func (r *router) route(j *core.Job) int {
 	}
 	if r.routing == RouteRandom {
 		r.stats.Random++
-		return r.rng.Intn(n)
+		if r.numDisabled == 0 {
+			return r.rng.Intn(n)
+		}
+		// Draw over the enabled shards only, walking the seeded stream
+		// once per decision exactly as the fault-free arm does.
+		k := r.rng.Intn(n - r.numDisabled)
+		for i := 0; i < n; i++ {
+			if r.disabled[i] {
+				continue
+			}
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+		panic("fed: router: no enabled shard") // unreachable: drainShard keeps one enabled
 	}
 
 	// Load and fit signals. A shard whose whole cloud is smaller than
 	// the circuit can only fail the job, so it is never offered one
 	// unless no shard fits (then the lowest-index least-loaded shard
-	// reports the failure deterministically).
+	// reports the failure deterministically). Drained shards never fit
+	// and carry no load signal.
 	width := j.Circuit.NumQubits()
 	anyFits := false
 	for i, s := range r.shards {
+		if r.disabled[i] {
+			r.depths[i] = 0
+			continue
+		}
 		sig := s.Signals()
 		r.depths[i] = sig.Depth
 		if sig.TotalComputing >= width {
@@ -147,6 +181,9 @@ func (r *router) route(j *core.Job) int {
 		}
 	}
 	fits := func(i int) bool {
+		if r.disabled[i] {
+			return false
+		}
 		return !anyFits || r.shards[i].Controller().TotalComputing() >= width
 	}
 	// Load is capacity-normalized backlog; least is the fitting shard

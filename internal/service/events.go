@@ -22,6 +22,10 @@ const (
 	EventPlaced = "placed"
 	// EventPreempted: preemption checkpointed the job off the cloud.
 	EventPreempted = "preempted"
+	// EventEvicted: a fault (QPU outage or shard drain) checkpointed
+	// the job off its placement; it re-enters the queue under its
+	// original id for re-placement elsewhere.
+	EventEvicted = "evicted"
 	// EventResumed: the checkpoint replayed onto a fresh placement
 	// (possibly on another shard — Shard says where it landed).
 	EventResumed = "resumed"
@@ -131,6 +135,8 @@ func (s *Server) onTransition(shard int, tr core.Transition) {
 		return
 	case tr.To == core.StatusQueued && tr.Reason == core.ReasonPreempted:
 		ev.Type = EventPreempted
+	case tr.To == core.StatusQueued && tr.Reason == core.ReasonEvicted:
+		ev.Type = EventEvicted
 	case tr.To == core.StatusQueued:
 		ev.Type = EventQueued
 	case tr.To == core.StatusRunning && tr.Reason == core.ReasonResumed:

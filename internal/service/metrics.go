@@ -41,6 +41,11 @@ var metricFamilies = []metricFamily{
 	{"cloudqcd_resumes_total", "counter", "Preempted jobs resumed onto a fresh placement."},
 	{"cloudqcd_rescued_deadlines_total", "counter", "Preemption-triggering jobs that then met their deadline."},
 	{"cloudqcd_router_decisions_total", "counter", "Admission-router decisions (label: kind=affinity|spill|cold|random)."},
+	{"cloudqcd_faults_injected_total", "counter", "Faults fired by the injector (label: kind=qpu_outage|link_degrade|shard_drain)."},
+	{"cloudqcd_jobs_rescued_total", "counter", "Jobs checkpointed off a failed resource and re-enqueued (label: cause=qpu_outage|shard_drain)."},
+	{"cloudqcd_fault_retries_total", "counter", "Remote-gate rounds that failed across degraded links."},
+	{"cloudqcd_fault_reroutes_total", "counter", "Dead-edge route-arounds applied to running jobs."},
+	{"cloudqcd_fault_retry_exhausted_total", "counter", "Jobs failed after exhausting their degraded-link retry budget."},
 	{"cloudqcd_events_dropped_total", "counter", "SSE events overwritten by the full event ring before any client read them."},
 	{"cloudqcd_trace_jobs_total", "counter", "Job traces held by the span recorder (0 while tracing is off)."},
 	{"cloudqcd_jct_attribution_cx_total", "counter", "Settled virtual time per phase, CX units (labels: tenant, phase=queue|compile|local|network|suspended)."},
@@ -155,6 +160,26 @@ func (s *Server) renderMetrics(buf *bytes.Buffer) {
 			fmt.Fprintf(buf, "cloudqcd_router_decisions_total{kind=%q} %d\n", kv.kind, kv.n)
 		}
 	})
+	fs := s.f.FaultStats()
+	emit("cloudqcd_faults_injected_total", func() {
+		for _, kv := range []struct {
+			kind string
+			n    int64
+		}{{"qpu_outage", fs.QPUOutages}, {"link_degrade", fs.LinkDegrades}, {"shard_drain", fs.ShardDrains}} {
+			fmt.Fprintf(buf, "cloudqcd_faults_injected_total{kind=%q} %d\n", kv.kind, kv.n)
+		}
+	})
+	emit("cloudqcd_jobs_rescued_total", func() {
+		for _, kv := range []struct {
+			cause string
+			n     int64
+		}{{"qpu_outage", fs.RescuedOutage}, {"shard_drain", fs.RescuedDrain}} {
+			fmt.Fprintf(buf, "cloudqcd_jobs_rescued_total{cause=%q} %d\n", kv.cause, kv.n)
+		}
+	})
+	plain("cloudqcd_fault_retries_total", float64(fs.Retries))
+	plain("cloudqcd_fault_reroutes_total", float64(fs.Reroutes))
+	plain("cloudqcd_fault_retry_exhausted_total", float64(fs.RetryExhausted))
 	plain("cloudqcd_events_dropped_total", float64(s.events.dropped))
 	trc := s.f.Trace()
 	traceJobs := 0

@@ -74,6 +74,17 @@ func (s *Server) Replay(recs []wal.Record) (jobs int, err error) {
 			}
 			s.noteSubmitted(job)
 			jobs++
+		case wal.TypeFault:
+			// Re-inject at the same stream position. The live path only
+			// logged injections the federation had already accepted, so an
+			// error here means the log and the build disagree (wrong
+			// topology or shard count) — fail loudly rather than diverge.
+			if rec.Fault == nil {
+				return jobs, fmt.Errorf("service: replay record %d (fault) carries no event", i)
+			}
+			if ferr := s.f.Inject(*rec.Fault); ferr != nil {
+				return jobs, fmt.Errorf("service: replay record %d (fault %s): %w", i, rec.Fault.Kind, ferr)
+			}
 		default:
 			return jobs, fmt.Errorf("service: replay record %d has unknown type %q", i, rec.Type)
 		}

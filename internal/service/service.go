@@ -20,6 +20,9 @@
 //	GET  /v1/jobs/{id}/trace  one job's virtual-time span tree and JCT
 //	                          attribution (404 while tracing is off)
 //	GET  /v1/events           every job's lifecycle events (SSE)
+//	POST /v1/faults           inject one fault event (admin): QPU
+//	                          outage, link degradation, or shard drain;
+//	                          logged to the WAL before the 202
 //	GET  /v1/stats            stream aggregates: online stats +
 //	                          per-tenant SLO + routing counters and
 //	                          per-shard breakdown
@@ -54,6 +57,7 @@ import (
 
 	"cloudqc/internal/circuit"
 	"cloudqc/internal/core"
+	"cloudqc/internal/fault"
 	"cloudqc/internal/fed"
 	"cloudqc/internal/metrics"
 	"cloudqc/internal/plan"
@@ -245,6 +249,7 @@ func (s *Server) routes() []route {
 		{Route{"GET", "/v1/jobs/{id}/events", "one job's lifecycle as server-sent events"}, s.handleJobEvents},
 		{Route{"GET", "/v1/jobs/{id}/trace", "one job's span tree and JCT attribution"}, s.handleTrace},
 		{Route{"GET", "/v1/events", "all jobs' lifecycle events (SSE)"}, s.handleEvents},
+		{Route{"POST", "/v1/faults", "inject a fault event (admin)"}, s.handleFaults},
 		{Route{"GET", "/v1/stats", "stream aggregates: online, SLO, routing"}, s.handleStats},
 		{Route{"GET", "/v1/cluster", "cluster state under the virtual clock"}, s.handleCluster},
 		{Route{"GET", "/metrics", "Prometheus text-format metrics"}, s.handleMetrics},
@@ -532,6 +537,57 @@ func (s *Server) noteSubmitted(job *core.Job) {
 	})
 }
 
+// FaultResponse acknowledges an accepted fault injection.
+type FaultResponse struct {
+	Kind       string  `json:"kind"`
+	Shard      int     `json:"shard"`
+	From       float64 `json:"from"`
+	VirtualNow float64 `json:"virtual_now"`
+}
+
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var e fault.Event
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), 0)
+		return
+	}
+	s.mu.Lock()
+	code, resp := s.injectFault(e)
+	s.mu.Unlock()
+	if code == http.StatusAccepted {
+		writeJSON(w, code, resp)
+	} else {
+		writeError(w, code, resp.(string), 0)
+	}
+}
+
+// injectFault is handleFaults' locked section. The federation validates
+// and schedules the event atomically (an error means nothing changed),
+// and only an accepted injection is logged — fsynced before the 202, the
+// same durability bar as accepted submissions, so a restarted daemon
+// re-injects it at the same position in the replayed operation stream.
+func (s *Server) injectFault(e fault.Event) (int, any) {
+	if s.draining {
+		return http.StatusConflict, "server is drained; fault injection is closed"
+	}
+	if err := s.advance(s.cfg.Now()); err != nil {
+		return http.StatusInternalServerError, err.Error()
+	}
+	if err := s.f.Inject(e); err != nil {
+		return http.StatusBadRequest, err.Error()
+	}
+	if w := s.cfg.WAL; w != nil {
+		if err := w.Append(wal.Record{Type: wal.TypeFault, V: e.From, Fault: &e}); err != nil {
+			return http.StatusInternalServerError, err.Error()
+		}
+		if err := w.Sync(); err != nil {
+			return http.StatusInternalServerError, err.Error()
+		}
+	}
+	return http.StatusAccepted, FaultResponse{Kind: e.Kind, Shard: e.Shard, From: e.From, VirtualNow: s.f.Now()}
+}
+
 // backlog is the federation-wide count of jobs waiting for service
 // (pending arrivals + admission queue), the quantity both load-shedding
 // watermarks compare against. Callers hold s.mu and have advanced.
@@ -646,6 +702,7 @@ type TraceResponse struct {
 	Rounds        []trace.RoundSpan   `json:"rounds,omitempty"`
 	Suspends      []trace.SuspendSpan `json:"suspends,omitempty"`
 	Rehomes       []trace.RehomeSpan  `json:"rehomes,omitempty"`
+	Faults        []trace.FaultSpan   `json:"faults,omitempty"`
 	RoundsTotal   int                 `json:"rounds_total"`
 	RoundsDropped int                 `json:"rounds_dropped"`
 }
@@ -695,6 +752,7 @@ func traceResponse(tr *trace.JobTrace) TraceResponse {
 		Rounds:        tr.Rounds(nil),
 		Suspends:      tr.Suspends,
 		Rehomes:       tr.Rehomes,
+		Faults:        tr.Faults,
 		RoundsTotal:   tr.RoundsTotal,
 		RoundsDropped: tr.RoundsDropped,
 	}
@@ -728,6 +786,10 @@ type StatsResponse struct {
 	// Preemption counts checkpoint preemptions, resumes, and rescued
 	// deadlines, summed across shards (all zero with -preempt off).
 	Preemption core.PreemptStats `json:"preemption"`
+	// Faults counts injected faults by kind and the recovery work they
+	// forced — rescues, retries, reroutes, exhausted budgets — summed
+	// across shards (all zero with no fault plan and no injections).
+	Faults fault.Stats `json:"faults"`
 	// Federation reports the routing tier: shard count, discipline,
 	// admission-router counters, and the per-shard breakdown. A
 	// single-controller server shows one shard with zeroed counters.
@@ -838,6 +900,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SLO:        sloWire(metrics.AggregateSLO(core.Outcomes(settled))),
 		PlanCache:  s.f.PlanCacheStats(),
 		Preemption: s.f.PreemptStats(),
+		Faults:     s.f.FaultStats(),
 		Federation: s.federationWire(),
 	}
 	if rec := s.f.Trace(); rec != nil {

@@ -98,6 +98,14 @@ type RehomeSpan struct {
 	Kind string  `json:"kind"`
 }
 
+// FaultSpan is one fault-layer event that touched the job: a QPU outage
+// that evicted it, a shard drain that rehomed it, a dead-link
+// route-around, or a retry-budget exhaustion that failed it.
+type FaultSpan struct {
+	At   float64 `json:"at"`
+	Kind string  `json:"kind"`
+}
+
 // Attribution is a settled job's JCT decomposition in virtual CX
 // units. Queue + Compile + Local + Network + Suspended == JCT holds
 // bitwise for completed jobs: Local is derived at settlement as the
@@ -136,6 +144,7 @@ type JobTrace struct {
 	Compiles []CompileSpan
 	Suspends []SuspendSpan
 	Rehomes  []RehomeSpan
+	Faults   []FaultSpan
 
 	// RoundsTotal counts every round span recorded; RoundsDropped how
 	// many of them the ring overwrote. The retained spans are the most
@@ -229,6 +238,13 @@ func (tr *JobTrace) Preempt(t float64) {
 // suspension.
 func (tr *JobTrace) Rehome(at float64, from, to int, kind string) {
 	tr.Rehomes = append(tr.Rehomes, RehomeSpan{At: at, From: from, To: to, Kind: kind})
+}
+
+// Fault records a fault-layer event touching the job (eviction, drain,
+// route-around, retry exhaustion). Attribution is unaffected: an
+// eviction's suspension opens through Preempt as usual.
+func (tr *JobTrace) Fault(t float64, kind string) {
+	tr.Faults = append(tr.Faults, FaultSpan{At: t, Kind: kind})
 }
 
 // Rounds appends the retained round spans, oldest first, to dst and

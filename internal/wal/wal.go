@@ -27,6 +27,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"cloudqc/internal/fault"
 )
 
 // Record types.
@@ -37,6 +39,10 @@ const (
 	// id is NOT logged — ids are assigned deterministically by the
 	// federation's router+sequencer, so replay reproduces them.
 	TypeJob = "job"
+	// TypeFault logs an accepted admin fault injection (POST /v1/faults);
+	// replay re-injects it at the same position in the operation stream,
+	// so the recovery work it triggers replays bit-identically.
+	TypeFault = "fault"
 )
 
 // Record is one logged operation. Step records use only V (the
@@ -53,6 +59,9 @@ type Record struct {
 	Deadline float64 `json:"deadline,omitempty"`
 	Circuit  string  `json:"circuit,omitempty"`
 	QASM     string  `json:"qasm,omitempty"`
+	// Fault carries a fault record's injected event (V mirrors the
+	// event's start for log readability; replay uses the event itself).
+	Fault *fault.Event `json:"fault,omitempty"`
 }
 
 // Stats summarizes a log's append-side activity for /metrics. Records
@@ -147,7 +156,13 @@ func parseLine(line string) (Record, bool) {
 	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
 		return Record{}, false
 	}
-	if rec.Type != TypeStep && rec.Type != TypeJob {
+	switch rec.Type {
+	case TypeStep, TypeJob:
+	case TypeFault:
+		if rec.Fault == nil {
+			return Record{}, false
+		}
+	default:
 		return Record{}, false
 	}
 	return rec, true
